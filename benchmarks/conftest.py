@@ -1,0 +1,83 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every benchmark regenerates one row/series of the paper's evaluation
+(see DESIGN.md §5 for the experiment index) and prints it in a uniform
+table format, so `pytest benchmarks/ --benchmark-only -s` reproduces the
+whole §6 cost analysis plus the behaviours of Figures 3-1, 4-1 and 5-1.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Iterable
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import System
+
+
+def make_system(machines: int = 4, **overrides) -> System:
+    """A booted system with benchmark-friendly defaults."""
+    return System(SystemConfig(machines=machines, **overrides))
+
+
+def make_bare_system(machines: int = 4, **overrides) -> System:
+    """A system without servers (pure-mechanism benchmarks)."""
+    overrides.setdefault("boot_servers", False)
+    return System(SystemConfig(machines=machines, **overrides))
+
+
+def drain(system: System, max_events: int = 10_000_000) -> None:
+    """Run the system to quiescence."""
+    fired = system.run(max_events=max_events)
+    assert fired < max_events, "simulation did not quiesce"
+
+
+#: Regenerated tables are also written here, so the paper-vs-measured
+#: record survives runs that capture stdout (plain ``--benchmark-only``).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def print_table(
+    title: str,
+    columns: list[str],
+    rows: Iterable[Iterable[Any]],
+    notes: str | None = None,
+) -> None:
+    """Print one experiment's reproduced table and persist it to
+    ``benchmarks/results/``."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if notes:
+        lines.append(f"    {notes}")
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the expensive experiment exactly once under pytest-benchmark.
+
+    Simulations are deterministic; repeating them only burns wall clock.
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

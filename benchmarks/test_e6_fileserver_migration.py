@@ -1,0 +1,107 @@
+"""E6 — Migrating the file server during live I/O (paper §2.3).
+
+"One of our test examples of process migration runs the above processes.
+It migrates a file system process while several user processes are
+performing I/O.  This is more difficult than moving a user process would
+be."
+
+Reproduced: K clients run verified read-after-write streams; the file
+server front end migrates mid-stream.  Every operation completes, nothing
+is corrupted, and the throughput timeline shows the freeze window and the
+recovery — the paper's transparency claim, quantified.
+"""
+
+from conftest import drain, make_system, print_table
+
+from repro.workloads.file_clients import file_io_client
+from repro.workloads.results import ResultsBoard
+
+CLIENTS = 4
+OPERATIONS = 8
+MIGRATE_AT = 60_000
+WINDOW = 25_000
+
+
+def run_scenario(migrate: bool):
+    board = ResultsBoard()
+    system = make_system()
+    fs_pid = system.server_pids["file_system"]
+    completions: list[int] = []
+
+    def on_trace(record):
+        if (record.category == "kernel" and record.event == "deliver"
+                and record.fields.get("op") == "fs-read-reply"):
+            completions.append(record.time)
+
+    system.tracer.subscribe(on_trace)
+    for tag in range(CLIENTS):
+        system.spawn(
+            lambda ctx, t=tag: file_io_client(
+                ctx, tag=t, operations=OPERATIONS, gap=2_000,
+                board=board, key="io",
+            ),
+            machine=tag % 4, name=f"client-{tag}",
+        )
+    if migrate:
+        system.loop.call_at(
+            MIGRATE_AT, lambda: system.migrate(fs_pid, 3),
+        )
+    drain(system, max_events=20_000_000)
+    return board.get("io"), completions, system
+
+
+def histogram(completions, until):
+    buckets = {}
+    for time in completions:
+        buckets[time // WINDOW] = buckets.get(time // WINDOW, 0) + 1
+    return [(w * WINDOW, buckets.get(w, 0))
+            for w in range(until // WINDOW + 1)]
+
+
+def test_e6_fileserver_migration_under_io(bench_once):
+    results, completions, system = bench_once(run_scenario, migrate=True)
+
+    until = max(completions)
+    print_table(
+        "E6: file-server migration during live I/O (paper §2.3 test)",
+        ["window start us", "read completions"],
+        histogram(completions, until),
+        notes=f"file server migrated at t={MIGRATE_AT}us; "
+              f"{CLIENTS} clients x {OPERATIONS} verified ops each",
+    )
+
+    # The paper's transparency claim: no lost or corrupted operations.
+    assert len(results) == CLIENTS
+    for result in results:
+        assert result["errors"] == [], result
+        assert len(result["latencies"]) == OPERATIONS
+
+    # The server really moved, and its sibling FS processes did not.
+    assert system.where_is(system.server_pids["file_system"]) == 3
+    assert system.where_is(system.server_pids["disk_driver"]) == 1
+
+    # All operations completed.
+    assert len(completions) == CLIENTS * OPERATIONS
+
+
+def test_e6_latency_dip_and_recovery(bench_once):
+    still_results, _, _ = bench_once(run_scenario, migrate=False)
+    moved_results, _, _ = run_scenario(migrate=True)
+
+    def mean_latency(results):
+        lats = [l for r in results for l in r["latencies"]]
+        return sum(lats) / len(lats)
+
+    still = mean_latency(still_results)
+    moved = mean_latency(moved_results)
+    print_table(
+        "E6b: mean verified-op latency, migrated vs not",
+        ["scenario", "mean op latency us"],
+        [["no migration", round(still)], ["fs migrated", round(moved)]],
+        notes="migration costs a bounded latency perturbation, not "
+              "correctness",
+    )
+    # Migration may slow things, but boundedly (no retries/timeouts).
+    assert moved < still * 3
+    for result in moved_results:
+        assert result["errors"] == []

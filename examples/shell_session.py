@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Drive DEMOS/MP through its command interpreter (paper §2.3).
+
+"The command interpreter allows interactive access to DEMOS/MP programs."
+This example scripts a session — start jobs, list them, migrate one by
+pid, ask where it is — exactly the operator's-eye view of migration.
+
+Run:  python examples/shell_session.py
+"""
+
+from repro import System, SystemConfig
+from repro.servers.common import rpc
+
+SESSION = [
+    "help",
+    "run compute on 1 total=80000 name=cruncher",
+    "run pinger on 2 rounds=1000 gap=50000 name=chatty",
+    "ps",
+    "{migrate_chatty}",  # filled in once we know chatty's pid
+    "{where_chatty}",
+    "ps",
+]
+
+
+def main() -> None:
+    system = System(SystemConfig(machines=4, seed=1,
+                                 notify_process_manager=True))
+    printed: list[tuple[str, str]] = []
+    pids: dict[str, object] = {}
+
+    def operator(ctx):
+        for template in SESSION:
+            if template == "{migrate_chatty}":
+                pid = pids["chatty"]
+                line = f"migrate {pid.creating_machine}.{pid.local_id} 3"
+            elif template == "{where_chatty}":
+                pid = pids["chatty"]
+                line = f"where {pid.creating_machine}.{pid.local_id}"
+            else:
+                line = template
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["command_interpreter"], "command",
+                {"line": line}, payload_bytes=16 + len(line),
+            )
+            body = reply.payload
+            printed.append((line, body.get("text", "")))
+            if body.get("ok") and "pid" in body and "name=chatty" in line:
+                pids["chatty"] = body["pid"]
+            yield ctx.sleep(5_000)
+        yield ctx.exit()
+
+    system.spawn(operator, machine=0, name="operator")
+    system.run(until=2_000_000)
+
+    for line, text in printed:
+        print(f"demos$ {line}")
+        for row in text.splitlines():
+            print(f"  {row}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fault recovery: "like rats leaving a sinking ship" (paper §1).
+
+"In failure modes that manifest themselves as gradual degradation of the
+processor ... working processes may be migrated from a dying processor
+before it completely fails."
+
+Machine 2 hosts an echo service and three long-running workers.  At
+t=50ms the operator notices the machine degrading (we model it as rising
+wire fault rates) and evacuates every process to healthy machines; at
+t=120ms the machine "dies" (its wires drop everything).  The workloads —
+including a client that keeps calling the echo service by its old links —
+finish correctly.
+
+Run:  python examples/sinking_ship.py
+"""
+
+from repro import FaultPlan, System, SystemConfig
+from repro.policy.metrics import migratable_processes
+from repro.sim.clock import format_time
+from repro.workloads.compute import compute_bound
+from repro.workloads.pingpong import echo_server, pinger
+from repro.workloads.results import ResultsBoard
+
+DYING = 2  #: the machine that will fail
+HEALTHY = [0, 1, 3]
+
+
+def main() -> None:
+    board = ResultsBoard()
+    system = System(SystemConfig(machines=4, seed=9))
+
+    system.spawn(lambda ctx: echo_server(ctx), machine=DYING, name="echo")
+    for i in range(3):
+        system.spawn(
+            lambda ctx: compute_bound(
+                ctx, total=150_000, board=board, key="worker",
+            ),
+            machine=DYING, name=f"worker-{i}",
+        )
+    system.spawn(
+        lambda ctx: pinger(ctx, rounds=10, gap=15_000, board=board,
+                           key="client"),
+        machine=0, name="client",
+    )
+
+    def degrade() -> None:
+        print(f"t={format_time(system.loop.now)}: machine {DYING} is "
+              f"degrading (drops rising) — evacuating")
+        for peer in HEALTHY:
+            system.network.set_faults(
+                FaultPlan(drop_probability=0.2), DYING, peer,
+            )
+        evacuees = migratable_processes(system, DYING)
+        for index, pid in enumerate(evacuees):
+            dest = HEALTHY[index % len(HEALTHY)]
+            name = system.process_state(pid).name
+            print(f"  migrating {pid} ({name}) -> machine {dest}")
+            system.kernel(DYING).migration.start(pid, dest)
+
+    def die() -> None:
+        survivors = list(system.kernel(DYING).processes)
+        print(f"t={format_time(system.loop.now)}: machine {DYING} dies "
+              f"(processes still aboard: {survivors or 'none'})")
+        for peer in HEALTHY:
+            system.network.set_faults(
+                FaultPlan(drop_probability=1.0), DYING, peer,
+            )
+
+    system.loop.call_at(50_000, degrade)
+    system.loop.call_at(120_000, die)
+    system.run(until=1_000_000)
+
+    print("\nworkers (all started on the dying machine):")
+    for record in board.get("worker"):
+        print(f"  {record['pid']}: finished on machine "
+              f"{record['machines'][-1]} at "
+              f"{format_time(record['finished'])}, path "
+              f"{record['machines']}")
+    transcript = board.get("client")
+    answered_by = sorted({t["server_machine"] for t in transcript})
+    print(f"\nclient completed {len(transcript)}/10 echo rounds; the "
+          f"echo service answered from machines {answered_by}")
+    lost = [t for t in transcript if t["server_machine"] == DYING
+            and t["round"] > 5]
+    print("no round was served by the dead machine after evacuation"
+          if not lost else f"UNEXPECTED: {lost}")
+
+
+if __name__ == "__main__":
+    main()

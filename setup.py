@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks PEP 660 editable-wheel
+support (no ``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Process Migration in DEMOS/MP' "
+        "(Powell & Miller, SOSP 1983)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

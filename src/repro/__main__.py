@@ -1,0 +1,122 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo``        — run the quickstart scenario and print the narrative;
+- ``migrate``     — migrate one process and print the §6 cost ledger;
+- ``shell "..."`` — execute command-interpreter lines against a fresh
+                    system (e.g. ``python -m repro shell "run compute" ps``);
+- ``report``      — run a mixed workload and print the system report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import SystemConfig
+from repro.core.system import System
+from repro.servers.common import rpc
+from repro.stats.collector import collect_report
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from examples import quickstart  # pragma: no cover - optional path
+
+    quickstart.main()
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    system = System(SystemConfig(machines=args.machines))
+
+    def worker(ctx):
+        while True:
+            yield ctx.compute(5_000)
+
+    pid = system.spawn(worker, machine=args.source, name="subject")
+    ticket = system.migrate(pid, args.dest)
+    system.run(until=5_000_000)
+    if not ticket.done or not ticket.success:
+        print("migration did not complete", file=sys.stderr)
+        return 1
+    for key, value in ticket.record.summary().items():
+        print(f"{key:>20}: {value}")
+    from repro.stats.timeline import migration_timeline, render_timeline
+
+    print("\nprotocol timeline (Figure 3-1):")
+    print(render_timeline(migration_timeline(system.tracer)))
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    system = System(SystemConfig(machines=args.machines,
+                                 notify_process_manager=True))
+    outputs: list[tuple[str, str]] = []
+
+    def operator(ctx):
+        for line in args.lines:
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["command_interpreter"], "command",
+                {"line": line}, payload_bytes=16 + len(line),
+            )
+            outputs.append((line, reply.payload.get("text", "")))
+            yield ctx.sleep(5_000)
+        yield ctx.exit()
+
+    system.spawn(operator, machine=0, name="operator")
+    system.run(until=10_000_000)
+    for line, text in outputs:
+        print(f"demos$ {line}")
+        for row in text.splitlines():
+            print(f"  {row}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.workloads.compute import compute_bound
+    from repro.workloads.pingpong import echo_server, pinger
+
+    system = System(SystemConfig(machines=args.machines))
+    system.spawn(lambda ctx: echo_server(ctx), machine=1, name="echo")
+    system.spawn(lambda ctx: pinger(ctx, rounds=5), machine=2, name="ping")
+    jobs = [
+        system.spawn(lambda ctx: compute_bound(ctx, total=30_000),
+                     machine=0, name=f"job-{i}")
+        for i in range(3)
+    ]
+    system.loop.call_at(10_000, lambda: system.migrate(jobs[0], 3))
+    system.run(until=2_000_000)
+    for line in collect_report(system).lines():
+        print(line)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DEMOS/MP process-migration reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    migrate = sub.add_parser("migrate", help="migrate one process")
+    migrate.add_argument("--machines", type=int, default=4)
+    migrate.add_argument("--source", type=int, default=0)
+    migrate.add_argument("--dest", type=int, default=2)
+    migrate.set_defaults(func=_cmd_migrate)
+
+    shell = sub.add_parser("shell", help="run command-interpreter lines")
+    shell.add_argument("lines", nargs="+")
+    shell.add_argument("--machines", type=int, default=4)
+    shell.set_defaults(func=_cmd_shell)
+
+    report = sub.add_parser("report", help="run a workload, print a report")
+    report.add_argument("--machines", type=int, default=4)
+    report.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Public API of the DEMOS/MP reproduction."""
+
+from repro.core.config import SystemConfig
+from repro.core.registry import (
+    lookup_program,
+    register_program,
+    registered_programs,
+)
+from repro.core.system import MigrationTicket, System
+
+__all__ = [
+    "MigrationTicket",
+    "System",
+    "SystemConfig",
+    "lookup_program",
+    "register_program",
+    "registered_programs",
+]

@@ -1,0 +1,85 @@
+"""System-wide configuration.
+
+One :class:`SystemConfig` describes a whole simulated DEMOS/MP
+installation: the machine park, network characteristics, kernel tunables,
+and which system processes to boot.  Everything the benchmarks sweep is a
+field here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.kernel.kernel import UndeliverablePolicy
+from repro.net.channel import FaultPlan
+
+#: Topology shapes :func:`repro.core.system.System` knows how to build.
+TOPOLOGY_SHAPES = ("mesh", "line", "ring", "star")
+
+
+@dataclass
+class SystemConfig:
+    """All the knobs for one simulated system."""
+
+    # --- machines and network -----------------------------------------
+    machines: int = 4
+    topology: str = "mesh"
+    latency: int = 100  #: per-wire propagation delay, microseconds
+    bandwidth: int = 1_000  #: per-wire bandwidth, bytes per millisecond
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    rto: int = 5_000  #: transport retransmission timeout, microseconds
+
+    # --- kernels --------------------------------------------------------
+    quantum: int = 1_000
+    syscall_cpu_cost: int = 10
+    memory_capacity: int = 1 << 22
+    max_data_packet: int = 1_024
+    undeliverable_policy: UndeliverablePolicy = UndeliverablePolicy.FORWARD
+    leave_forwarding_address: bool = True
+    send_link_updates: bool = True
+    notify_process_manager: bool = False
+    #: interval for kernels to push load/memory reports to the process
+    #: manager and memory scheduler (0 disables reporting)
+    load_report_interval: int = 0
+
+    # --- system processes ------------------------------------------------
+    boot_servers: bool = True
+    #: machine hosting the switchboard / process manager / memory scheduler
+    control_machine: int = 0
+    #: machine hosting the four file-system processes
+    file_system_machine: int = 1
+
+    # --- bookkeeping ------------------------------------------------------
+    seed: int = 0
+    trace_categories: tuple[str, ...] | None = None
+    max_trace_records: int | None = 200_000
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.machines < 1:
+            raise ConfigError(f"need at least one machine, got {self.machines}")
+        if self.topology not in TOPOLOGY_SHAPES:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; "
+                f"choose from {TOPOLOGY_SHAPES}"
+            )
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ConfigError("latency must be >= 0 and bandwidth > 0")
+        if self.quantum <= 0 or self.syscall_cpu_cost <= 0:
+            raise ConfigError("quantum and syscall cost must be positive")
+        if self.max_data_packet <= 0:
+            raise ConfigError("max_data_packet must be positive")
+        if not 0 <= self.control_machine < self.machines:
+            raise ConfigError("control_machine out of range")
+        if self.boot_servers and not 0 <= self.file_system_machine < self.machines:
+            raise ConfigError("file_system_machine out of range")
+        if (
+            self.undeliverable_policy is UndeliverablePolicy.RETURN_TO_SENDER
+            and self.leave_forwarding_address
+        ):
+            raise ConfigError(
+                "return-to-sender mode requires leave_forwarding_address="
+                "False (the whole point of the ablation is no residual "
+                "forwarding state)"
+            )

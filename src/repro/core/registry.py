@@ -1,0 +1,45 @@
+"""A global registry of named, spawnable programs.
+
+The process manager creates processes by name (OP_SPAWN requests carry a
+program name, not code), so workloads and servers register their program
+factories here.  ``System`` copies the registry into every kernel at boot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigError
+
+F = TypeVar("F", bound=Callable)
+
+_PROGRAMS: dict[str, Callable] = {}
+
+
+def register_program(name: str) -> Callable[[F], F]:
+    """Class/function decorator registering a program factory by name.
+
+    The factory is called as ``factory(ctx, **params)`` and must return a
+    generator (the program).
+    """
+
+    def decorator(factory: F) -> F:
+        if name in _PROGRAMS and _PROGRAMS[name] is not factory:
+            raise ConfigError(f"program {name!r} registered twice")
+        _PROGRAMS[name] = factory
+        return factory
+
+    return decorator
+
+
+def lookup_program(name: str) -> Callable:
+    """The factory registered under *name*."""
+    try:
+        return _PROGRAMS[name]
+    except KeyError:
+        raise ConfigError(f"no program registered as {name!r}") from None
+
+
+def registered_programs() -> dict[str, Callable]:
+    """A copy of the whole registry (name -> factory)."""
+    return dict(_PROGRAMS)

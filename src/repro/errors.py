@@ -1,0 +1,83 @@
+"""Exception hierarchy for the DEMOS/MP reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class ClockError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-layer failures."""
+
+
+class UnknownMachineError(NetworkError):
+    """A packet was addressed to a machine that does not exist."""
+
+
+class NoRouteError(NetworkError):
+    """The topology has no path between two machines."""
+
+
+class KernelError(ReproError):
+    """Base class for kernel-layer failures."""
+
+
+class UnknownProcessError(KernelError):
+    """An operation referenced a process id the kernel does not know."""
+
+
+class InvalidLinkError(KernelError):
+    """A process used a link id that is not in its link table."""
+
+
+class LinkAccessError(KernelError):
+    """A data-area operation exceeded the access granted by the link."""
+
+
+class ProcessStateError(KernelError):
+    """An operation is invalid for the process's current status."""
+
+
+class TransferError(KernelError):
+    """A move-data transfer could not complete."""
+
+
+class MigrationError(KernelError):
+    """A migration could not be started or completed."""
+
+
+class MigrationRefusedError(MigrationError):
+    """The destination kernel refused to accept the process (autonomy)."""
+
+
+class MemoryError_(KernelError):
+    """A kernel memory allocation failed (name avoids the builtin)."""
+
+
+class ServerError(ReproError):
+    """A system server returned a failure reply."""
+
+
+class FileSystemError(ServerError):
+    """A file-system request failed (unknown file, bad offset, ...)."""
+
+
+class SwitchboardError(ServerError):
+    """A switchboard lookup or registration failed."""
+
+
+class ConfigError(ReproError):
+    """A SystemConfig value is out of range or inconsistent."""

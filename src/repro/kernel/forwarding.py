@@ -1,0 +1,109 @@
+"""Forwarding addresses (paper §4, Figure 4-1).
+
+"A forwarding address is a degenerate process state, whose only contents
+are the (last known) machine to which the process was migrated."  It costs
+8 bytes and lives in the kernel's process namespace: the normal message
+delivery system finds it exactly where the process used to be and, instead
+of queueing, rewrites the message's destination machine and resubmits it.
+
+Forwarding addresses are garbage-collected when the process dies, by
+pointers backwards along the path of migration (the process state carries
+its residence history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.ids import ProcessId
+from repro.net.topology import MachineId
+
+#: Paper §4: "In the current implementation, it uses 8 bytes of storage."
+FORWARDING_ADDRESS_BYTES = 8
+
+
+@dataclass
+class ForwardingAddress:
+    """A degenerate process state: pid -> machine it migrated to."""
+
+    pid: ProcessId
+    machine: MachineId
+    created_at: int
+    #: messages this entry has forwarded (diagnostics / GC heuristics)
+    forwards: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage used on the source machine."""
+        return FORWARDING_ADDRESS_BYTES
+
+
+class ForwardingTable:
+    """All forwarding addresses held by one kernel."""
+
+    def __init__(self) -> None:
+        self._entries: dict[ProcessId, ForwardingAddress] = {}
+        self.total_forwards = 0
+        self.collected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self._entries
+
+    def install(self, pid: ProcessId, machine: MachineId, now: int) -> None:
+        """Leave a forwarding address after migration step 7.
+
+        Re-installing for the same pid (the process migrated away, came
+        back, and left again) simply replaces the old pointer.
+        """
+        self._entries[pid] = ForwardingAddress(pid, machine, now)
+
+    def lookup(self, pid: ProcessId) -> ForwardingAddress | None:
+        """The forwarding address for *pid*, if any."""
+        return self._entries.get(pid)
+
+    def forward_target(self, pid: ProcessId) -> MachineId | None:
+        """Record a forward through *pid*'s entry and return the target."""
+        entry = self._entries.get(pid)
+        if entry is None:
+            return None
+        entry.forwards += 1
+        self.total_forwards += 1
+        return entry.machine
+
+    def collect(self, pid: ProcessId) -> bool:
+        """Drop *pid*'s forwarding address (process died).  Idempotent."""
+        if self._entries.pop(pid, None) is not None:
+            self.collected += 1
+            return True
+        return False
+
+    def sweep(self, now: int, max_age: int) -> list[ForwardingAddress]:
+        """Collect entries older than *max_age* (paper §4: "Given a long
+        running system ... some form of garbage collection will
+        eventually have to be used").
+
+        Returns the collected entries.  Sweeping is safe only to the
+        extent that links have converged: a message sent later on a
+        still-stale link becomes undeliverable and falls back to the
+        kernel's undeliverable policy (sender notice / return-to-sender).
+        """
+        victims = [
+            entry for entry in self._entries.values()
+            if now - entry.created_at > max_age
+        ]
+        for entry in victims:
+            del self._entries[entry.pid]
+            self.collected += 1
+        return victims
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total residual storage these entries occupy (8 bytes each)."""
+        return FORWARDING_ADDRESS_BYTES * len(self._entries)
+
+    def entries(self) -> list[ForwardingAddress]:
+        """All entries, sorted by pid (diagnostics)."""
+        return sorted(self._entries.values(), key=lambda e: e.pid)

@@ -1,0 +1,69 @@
+"""Link updating (paper §5, Figure 5-1).
+
+"As it forwards the message, the forwarding machine sends another special
+message to the kernel of the process that sent the original message.  This
+special message contains the process identifier of the sender of the
+original message, the process identifier of the intended receiver (the
+migrated process), and the new location of the receiver.  All links in the
+sending process's link table that point to the migrated process are then
+updated to point to the new location."
+
+This module defines the update payload (10 bytes on the wire: two pids of
+4 bytes and a 2-byte machine id — inside the paper's 6-12 byte control-
+message range) and the receiving-kernel application logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.ids import (
+    PROCESS_ID_BYTES,
+    ProcessAddress,
+    ProcessId,
+    kernel_address,
+)
+from repro.kernel.messages import Message, MessageKind
+from repro.net.topology import MachineId
+
+#: sender pid (4) + receiver pid (4) + new machine (2).
+LINK_UPDATE_PAYLOAD_BYTES = 2 * PROCESS_ID_BYTES + 2
+
+#: The message op used for link updates.
+OP_LINK_UPDATE = "link-update"
+
+
+@dataclass(frozen=True)
+class LinkUpdate:
+    """The content of a link-update message."""
+
+    sender_pid: ProcessId  #: whose link table should be patched
+    target_pid: ProcessId  #: the migrated process
+    new_machine: MachineId  #: where it lives now
+
+
+def build_link_update(
+    forwarder_machine: MachineId,
+    update: LinkUpdate,
+    sender_machine: MachineId,
+) -> Message:
+    """The special message the forwarding machine sends (Figure 5-1).
+
+    It is addressed to the kernel of the machine the original message came
+    from — the sender's machine as recorded in the forwarded message.
+    """
+    return Message(
+        dest=kernel_address(sender_machine),
+        sender=kernel_address(forwarder_machine),
+        kind=MessageKind.LINK_UPDATE,
+        op=OP_LINK_UPDATE,
+        payload=update,
+        payload_bytes=LINK_UPDATE_PAYLOAD_BYTES,
+        category="linkupdate",
+    )
+
+
+def sender_machine_of(message: Message) -> MachineId:
+    """Which machine the stale-link sender was on when it sent *message*."""
+    sender: ProcessAddress = message.sender
+    return sender.last_known_machine

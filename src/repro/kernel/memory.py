@@ -1,0 +1,183 @@
+"""Process memory images and the per-kernel memory manager.
+
+A DEMOS/MP process (paper Figure 2-2) is "the program being executed,
+along with the program's data, stack, and state".  We model the program as
+three byte-counted segments — code, data, stack — each of which may be
+swapped out.  The kernel's move-data operation "handles reading or writing
+of swapped out memory and allocation of new virtual memory", which the
+migration engine relies on in step 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import MemoryError_
+
+
+class SegmentKind(Enum):
+    """The three memory segments of a process image."""
+
+    CODE = "code"
+    DATA = "data"
+    STACK = "stack"
+
+
+@dataclass
+class MemorySegment:
+    """One segment of a process's address space."""
+
+    kind: SegmentKind
+    size_bytes: int
+    swapped_out: bool = False
+
+
+@dataclass
+class MemoryImage:
+    """The full memory picture of one process."""
+
+    segments: dict[SegmentKind, MemorySegment] = field(default_factory=dict)
+
+    @classmethod
+    def sized(
+        cls,
+        code: int = 4_096,
+        data: int = 2_048,
+        stack: int = 1_024,
+    ) -> "MemoryImage":
+        """An image with the given segment sizes (bytes)."""
+        return cls(
+            {
+                SegmentKind.CODE: MemorySegment(SegmentKind.CODE, code),
+                SegmentKind.DATA: MemorySegment(SegmentKind.DATA, data),
+                SegmentKind.STACK: MemorySegment(SegmentKind.STACK, stack),
+            }
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes across all segments, swapped or resident."""
+        return sum(s.size_bytes for s in self.segments.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently occupying real memory."""
+        return sum(
+            s.size_bytes for s in self.segments.values() if not s.swapped_out
+        )
+
+    def segment(self, kind: SegmentKind) -> MemorySegment:
+        """The segment of the given kind."""
+        return self.segments[kind]
+
+    def address_space_contains(self, offset: int, length: int) -> bool:
+        """Whether [offset, offset+length) is a valid window of this image."""
+        return 0 <= offset and offset + length <= self.total_bytes and length >= 0
+
+
+class MemoryManager:
+    """Tracks real-memory occupancy on one machine.
+
+    Capacity is finite; allocation beyond it first swaps out victims
+    (largest non-code segments first) and only then fails.  Migration step
+    3 uses :meth:`reserve` to claim space on the destination before any
+    bytes move, so a refused reservation aborts the migration cleanly.
+    """
+
+    def __init__(self, capacity_bytes: int = 1 << 22) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._images: dict[object, MemoryImage] = {}
+        self._reserved: dict[object, int] = {}
+        self.swap_outs = 0
+        self.swap_ins = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Resident bytes plus outstanding reservations."""
+        resident = sum(img.resident_bytes for img in self._images.values())
+        return resident + sum(self._reserved.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Capacity not currently resident or reserved."""
+        return self.capacity_bytes - self.used_bytes
+
+    def attach(self, owner: object, image: MemoryImage) -> None:
+        """Start accounting *image* against this machine's memory.
+
+        Swaps out other processes' segments if needed to fit; raises
+        :class:`MemoryError_` if the image cannot fit even after swapping.
+        """
+        self._make_room(image.resident_bytes)
+        if image.resident_bytes > self.free_bytes:
+            raise MemoryError_(
+                f"cannot attach image of {image.resident_bytes}B, "
+                f"only {self.free_bytes}B free"
+            )
+        self._images[owner] = image
+
+    def detach(self, owner: object) -> MemoryImage:
+        """Stop accounting *owner*'s image (process exit or migration)."""
+        try:
+            return self._images.pop(owner)
+        except KeyError:
+            raise MemoryError_(f"no image attached for {owner!r}") from None
+
+    def reserve(self, owner: object, size_bytes: int) -> bool:
+        """Reserve room for an incoming migration.  Returns success."""
+        self._make_room(size_bytes)
+        if size_bytes > self.free_bytes:
+            return False
+        self._reserved[owner] = size_bytes
+        return True
+
+    def commit_reservation(self, owner: object, image: MemoryImage) -> None:
+        """Replace a reservation with the real image that arrived."""
+        if owner not in self._reserved:
+            raise MemoryError_(f"no reservation held for {owner!r}")
+        del self._reserved[owner]
+        self._images[owner] = image
+
+    def cancel_reservation(self, owner: object) -> None:
+        """Release a reservation (migration aborted)."""
+        self._reserved.pop(owner, None)
+
+    def swap_out(self, owner: object, kind: SegmentKind) -> None:
+        """Push one segment to the (infinite) swap device."""
+        segment = self._images[owner].segment(kind)
+        if not segment.swapped_out:
+            segment.swapped_out = True
+            self.swap_outs += 1
+
+    def swap_in(self, owner: object, kind: SegmentKind) -> None:
+        """Bring one segment back to real memory."""
+        segment = self._images[owner].segment(kind)
+        if segment.swapped_out:
+            self._make_room(segment.size_bytes)
+            if segment.size_bytes > self.free_bytes:
+                raise MemoryError_(
+                    f"no room to swap in {segment.size_bytes}B"
+                )
+            segment.swapped_out = False
+            self.swap_ins += 1
+
+    def _make_room(self, needed: int) -> None:
+        """Swap out victims until *needed* bytes fit (best effort)."""
+        if needed <= self.free_bytes:
+            return
+        victims = sorted(
+            (
+                seg
+                for img in self._images.values()
+                for seg in img.segments.values()
+                if not seg.swapped_out and seg.kind is not SegmentKind.CODE
+            ),
+            key=lambda seg: seg.size_bytes,
+            reverse=True,
+        )
+        for seg in victims:
+            if needed <= self.free_bytes:
+                return
+            seg.swapped_out = True
+            self.swap_outs += 1

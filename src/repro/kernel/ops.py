@@ -1,0 +1,65 @@
+"""Operation tags for kernel-to-kernel and kernel-targeted messages.
+
+Centralised so tests and traces can refer to them, and so the payload-size
+table (the paper's "6-12 byte range" for control messages) lives in one
+place next to the ops it describes.
+"""
+
+from __future__ import annotations
+
+# --- DELIVERTOKERNEL operations targeted at a process (paper §2.2) ------
+OP_STOP_PROCESS = "stop-process"  #: suspend, wherever the process is
+OP_START_PROCESS = "start-process"  #: resume a suspended process
+OP_MIGRATE_PROCESS = "migrate-process"  #: PM directive: move to payload machine
+OP_TRANSFER_DONE = "dma-done"  #: completion of a MoveData transfer
+OP_DMA_READ_REQ = "dma-read-req"  #: holder kernel asks owner kernel to stream
+OP_DMA_WRITE_CHUNK = "dma-write-chunk"  #: holder pushes data toward owner
+OP_DMA_READ_CHUNK = "dma-read-chunk"  #: owner streams data toward holder
+OP_DMA_ERROR = "dma-error"  #: transfer failed (bad area, dead owner)
+
+# --- Kernel-addressed control operations ---------------------------------
+OP_SPAWN = "spawn"  #: process manager asks a kernel to create a process
+OP_SPAWN_REPLY = "spawn-reply"
+OP_FORWARD_GC = "forward-gc"  #: collect a forwarding address (process died)
+OP_NACK = "nack"  #: return-to-sender: message could not be delivered
+OP_WHERE_IS_REPLY = "where-is-reply"  #: process manager -> kernel location answer
+OP_UNDELIVERABLE = "__undeliverable__"  #: notice delivered to a sending process
+
+# --- Migration protocol (paper §3.1; exactly nine per migration) ---------
+OP_MIGRATE_REQUEST = "mig-request"
+OP_MIGRATE_ACCEPT = "mig-accept"
+OP_SEG_REQUEST = "mig-move-req"
+OP_TRANSFER_COMPLETE = "mig-xfer-done"
+OP_PENDING_FORWARDED = "mig-pending"
+OP_CLEANUP_COMPLETE = "mig-cleanup-done"
+OP_RESTART_ACK = "mig-restarted"
+OP_MIGRATE_DATA = "mig-data"  #: bulk state chunks (datamove, not admin)
+
+#: Payload sizes of the nine administrative messages, all within the
+#: paper's "6-12 byte range".  OP_SEG_REQUEST is sent three times
+#: (resident state, swappable state, program), giving 9 messages total:
+#: request, accept, 3x seg-request, xfer-done, pending, cleanup, restart.
+ADMIN_PAYLOAD_BYTES: dict[str, int] = {
+    OP_MIGRATE_REQUEST: 12,  # pid(4) + three segment sizes (explicitly packed)
+    OP_MIGRATE_ACCEPT: 6,  # pid(4) + verdict(2)
+    OP_SEG_REQUEST: 10,  # pid(4) + segment(2) + length(4)
+    OP_TRANSFER_COMPLETE: 6,  # pid(4) + status(2)
+    OP_PENDING_FORWARDED: 8,  # pid(4) + forwarded count(4)
+    OP_CLEANUP_COMPLETE: 6,  # pid(4) + status(2)
+    OP_RESTART_ACK: 6,  # pid(4) + status(2)
+}
+
+#: Number of administrative messages per successful migration (paper §6:
+#: "The current DEMOS/MP implementation uses 9 such messages").
+ADMIN_MESSAGES_PER_MIGRATION = 9
+
+# --- Miscellaneous small-control payload sizes ---------------------------
+CONTROL_PAYLOAD_BYTES: dict[str, int] = {
+    OP_STOP_PROCESS: 6,
+    OP_START_PROCESS: 6,
+    OP_MIGRATE_PROCESS: 8,
+    OP_FORWARD_GC: 6,
+    OP_TRANSFER_DONE: 10,
+    OP_DMA_READ_REQ: 12,
+    OP_DMA_ERROR: 8,
+}

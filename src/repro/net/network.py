@@ -1,0 +1,227 @@
+"""The network facade kernels talk to.
+
+``Network`` wires together the topology, lossy per-wire channels, and one
+:class:`~repro.net.reliable.ReliableTransport` endpoint per machine.
+Packets are routed hop-by-hop along latency-weighted shortest paths; fault
+injection (if configured) applies independently on every hop.
+
+Kernels use exactly two operations:
+
+- :meth:`Network.send` — reliably deliver an opaque payload to a machine;
+- :meth:`Network.register_receiver` — claim a machine's inbound payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import UnknownMachineError
+from repro.net.channel import Channel, FaultPlan
+from repro.net.packet import Packet
+from repro.net.reliable import DEFAULT_RTO, ReliableTransport
+from repro.net.stats import NetworkStats
+from repro.net.topology import MachineId, Topology
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+Receiver = Callable[[MachineId, Any], None]
+
+
+class Network:
+    """All inter-machine communication for one simulated system."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        topology: Topology,
+        tracer: Tracer | None = None,
+        rngs: RandomStreams | None = None,
+        faults: FaultPlan | None = None,
+        rto: int = DEFAULT_RTO,
+    ) -> None:
+        self.loop = loop
+        self.topology = topology
+        self.tracer = tracer
+        self.stats = NetworkStats()
+        self._rngs = rngs or RandomStreams(0)
+        self._default_faults = faults or FaultPlan()
+        self._channels: dict[tuple[MachineId, MachineId], Channel] = {}
+        self._transports: dict[MachineId, ReliableTransport] = {}
+        #: fail-stop takeover: traffic addressed to a crashed machine is
+        #: carried to (and accepted by) its executor, modelling the
+        #: published-communications recovery the paper defers to (§4)
+        self._redirects: dict[MachineId, MachineId] = {}
+        for machine in topology.machines:
+            self._transports[machine] = ReliableTransport(
+                machine,
+                loop,
+                # Route from the transport's physical machine, not from
+                # packet.src: an executor acks with the dead machine's
+                # address in the src field.
+                transmit_fn=(
+                    lambda packet, _here=machine:
+                    self._forward_from(_here, packet)
+                ),
+                stats=self.stats,
+                tracer=tracer,
+                rto=rto,
+            )
+
+    # ------------------------------------------------------------------
+    # Kernel-facing API
+    # ------------------------------------------------------------------
+
+    def register_receiver(self, machine: MachineId, receiver: Receiver) -> None:
+        """Deliver all in-order payloads arriving at *machine* to *receiver*."""
+        transport = self._transport(machine)
+        transport.deliver_fn = receiver
+
+    def send(
+        self,
+        src: MachineId,
+        dst: MachineId,
+        payload: Any,
+        payload_bytes: int,
+        category: str = "user",
+    ) -> None:
+        """Reliably send *payload* from machine *src* to machine *dst*."""
+        if src == dst:
+            raise UnknownMachineError(
+                f"machine {src} tried to use the network to reach itself; "
+                "local delivery never touches the wire"
+            )
+        self._transport(src).send(dst, payload, payload_bytes, category)
+
+    def set_faults(
+        self,
+        faults: FaultPlan,
+        a: MachineId | None = None,
+        b: MachineId | None = None,
+    ) -> None:
+        """Apply a fault plan to one wire pair (both directions) or, with no
+        machines given, to every current and future channel."""
+        if a is None and b is None:
+            self._default_faults = faults
+            for channel in self._channels.values():
+                channel.faults = faults
+            return
+        if a is None or b is None:
+            raise UnknownMachineError("set_faults needs both machines or neither")
+        for pair in ((a, b), (b, a)):
+            self._channel(*pair).faults = faults
+
+    def redirect_machine(
+        self, dead: MachineId, executor: MachineId
+    ) -> None:
+        """Deliver all traffic addressed to *dead* at *executor* instead.
+
+        Installed by crash recovery: the executor's transport accepts the
+        dead machine's packets (and acks them), so senders' outstanding
+        retransmissions settle instead of looping forever.
+        """
+        if dead == executor:
+            raise UnknownMachineError("a machine cannot execute itself")
+        self._transport(dead)  # validate both exist
+        self._transport(executor)
+        self._redirects[dead] = executor
+        # Chase chains: anything previously redirected to `dead` now
+        # lands on the executor too.
+        for original, target in list(self._redirects.items()):
+            if target == dead:
+                self._redirects[original] = executor
+
+    def effective_destination(self, machine: MachineId) -> MachineId:
+        """Where traffic addressed to *machine* is actually delivered."""
+        return self._redirects.get(machine, machine)
+
+    def crash_machine(self, dead: MachineId, executor: MachineId) -> None:
+        """Fail-stop *dead* at the transport level.
+
+        Installs the redirect, hands the dead machine's receive-stream
+        state (the published mirror) to the executor so redirected
+        packets keep their sequence spaces, and abandons the dead
+        machine's own unacknowledged sends — fail-stop semantics: they
+        may or may not have been delivered.
+        """
+        self.redirect_machine(dead, executor)
+        dead_transport = self._transport(dead)
+        self._transport(executor).absorb_recv_states(
+            dead_transport.export_recv_states()
+        )
+        abandoned = dead_transport.abandon_sends()
+        if self.tracer is not None:
+            self.tracer.record(
+                "net", "crash", machine=dead, executor=executor,
+                abandoned_sends=abandoned,
+            )
+
+    def in_flight(self) -> int:
+        """Packets currently on some wire (diagnostics)."""
+        return sum(c.in_flight for c in self._channels.values())
+
+    def unacked(self) -> int:
+        """Packets awaiting acknowledgement across all machines."""
+        return sum(t.unacked_count for t in self._transports.values())
+
+    def quiescent(self) -> bool:
+        """True when nothing is in flight and nothing awaits an ack."""
+        return self.in_flight() == 0 and self.unacked() == 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _transport(self, machine: MachineId) -> ReliableTransport:
+        try:
+            return self._transports[machine]
+        except KeyError:
+            raise UnknownMachineError(f"unknown machine {machine}") from None
+
+    def _channel(self, a: MachineId, b: MachineId) -> Channel:
+        channel = self._channels.get((a, b))
+        if channel is None:
+            wire = self.topology.wire(a, b)
+            channel = Channel(
+                self.loop,
+                wire,
+                deliver=lambda pkt, _here=b: self._hop_arrived(_here, pkt),
+                faults=self._default_faults,
+                rng=self._rngs.stream(f"channel/{a}->{b}"),
+                on_drop=self._note_drop,
+                on_duplicate=self._note_duplicate,
+            )
+            self._channels[(a, b)] = channel
+        return channel
+
+    def _forward_from(self, here: MachineId, packet: Packet) -> None:
+        destination = self.effective_destination(packet.dst)
+        if here == destination:
+            self._transport(here).on_packet(packet)
+            return
+        next_hop = self.topology.next_hop(here, destination)
+        self._channel(here, next_hop).transmit(packet)
+
+    def _hop_arrived(self, here: MachineId, packet: Packet) -> None:
+        if here == self.effective_destination(packet.dst):
+            self._transport(here).on_packet(packet)
+        else:
+            self._forward_from(here, packet)
+
+    def _note_drop(self, packet: Packet) -> None:
+        self.stats.note_drop()
+        if self.tracer is not None:
+            self.tracer.record(
+                "net", "drop", src=packet.src, dst=packet.dst, seq=packet.seq
+            )
+
+    def _note_duplicate(self, packet: Packet) -> None:
+        self.stats.note_duplicate()
+        if self.tracer is not None:
+            self.tracer.record(
+                "net",
+                "duplicate",
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.seq,
+            )

@@ -1,0 +1,60 @@
+"""Packet framing and size accounting.
+
+The paper's cost analysis counts messages and bytes, so every packet knows
+its payload size and the fixed header overhead.  Payloads are opaque Python
+objects; the simulator never serialises them — the *declared* byte size is
+what travels on the simulated wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.net.topology import MachineId
+
+#: Fixed framing overhead per packet: src(2) dst(2) seq(4) kind(1)
+#: length(2) checksum(1) — 12 bytes, in the spirit of a Z8000-era LAN frame.
+PACKET_HEADER_BYTES = 12
+
+#: Size of a transport-level acknowledgement (header only + 4-byte seq echo).
+ACK_PAYLOAD_BYTES = 4
+
+_packet_serial = itertools.count(1)
+
+
+class PacketKind(Enum):
+    """Transport-level packet classification (for stats and traces)."""
+
+    DATA = "data"  #: carries a payload from the layer above
+    ACK = "ack"  #: transport acknowledgement
+
+
+@dataclass
+class Packet:
+    """One frame on the simulated wire."""
+
+    src: MachineId
+    dst: MachineId
+    kind: PacketKind
+    seq: int
+    payload: Any
+    payload_bytes: int
+    #: category tag from the layer above ("admin", "user", "datamove", ...);
+    #: used only for accounting, never for routing.
+    category: str = "user"
+    serial: int = field(default_factory=lambda: next(_packet_serial))
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes on the wire, header included."""
+        return PACKET_HEADER_BYTES + self.payload_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.serial} {self.src}->{self.dst}"
+            f" {self.kind.value} seq={self.seq} {self.payload_bytes}B"
+            f" cat={self.category})"
+        )

@@ -1,0 +1,258 @@
+"""Reliable, ordered inter-machine delivery.
+
+DEMOS/MP assumes "any message sent will eventually be delivered" and cites
+*published communications* [Powell & Presotto 83] as the mechanism.  This
+module provides the equivalent guarantee with a classic positive-ack /
+retransmission / duplicate-suppression protocol:
+
+- every payload gets a per-(source, addressed-destination) sequence
+  number;
+- the receiver acks each data packet and delivers payloads **in order**
+  per stream (out-of-order arrivals are buffered);
+- the sender retransmits unacknowledged packets with exponential backoff,
+  forever — under any drop probability < 1 delivery is eventually certain.
+
+Streams are identified by the *addressed* destination, not the physical
+receiver: after a fail-stop crash, the dead machine's executor accepts
+and acks its streams (the network redirects them) without them colliding
+with the executor's own, which is the delivery-level half of the paper's
+"the same recovery mechanism that works for processes works for
+forwarding addresses".
+
+In-order per-stream delivery also models the paper's note that move-data
+packets are "sent to the receiving kernel in a continuous stream".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.net.packet import ACK_PAYLOAD_BYTES, Packet, PacketKind
+from repro.net.stats import NetworkStats
+from repro.net.topology import MachineId
+from repro.sim.events import ScheduledEvent
+from repro.sim.loop import EventLoop
+from repro.sim.trace import Tracer
+
+#: Default initial retransmission timeout, microseconds.
+DEFAULT_RTO = 5_000
+#: Multiplicative backoff applied on every retransmission.
+RTO_BACKOFF = 2
+#: Cap on the backed-off timeout so recovery stays bounded.
+MAX_RTO = 200_000
+
+#: A receive stream: (source machine, machine the packets were addressed
+#: to — usually the receiver itself, or a dead machine it executes).
+StreamKey = tuple[MachineId, MachineId]
+
+
+@dataclass
+class _Outstanding:
+    """A data packet awaiting acknowledgement."""
+
+    packet: Packet
+    timer: ScheduledEvent
+    rto: int
+    attempts: int = 1
+
+
+@dataclass
+class _SendState:
+    """Per-addressed-destination sender state."""
+
+    next_seq: int = 0
+    unacked: dict[int, _Outstanding] = field(default_factory=dict)
+
+
+@dataclass
+class _RecvState:
+    """Per-stream receiver state."""
+
+    next_deliver_seq: int = 0
+    reorder_buffer: dict[int, Packet] = field(default_factory=dict)
+
+
+class ReliableTransport:
+    """The reliable endpoint living on one machine.
+
+    ``transmit_fn`` pushes a raw packet toward its destination (the network
+    routes it); ``deliver_fn`` hands an in-order payload to the kernel.
+    """
+
+    def __init__(
+        self,
+        machine: MachineId,
+        loop: EventLoop,
+        transmit_fn: Callable[[Packet], None],
+        stats: NetworkStats,
+        tracer: Tracer | None = None,
+        rto: int = DEFAULT_RTO,
+    ) -> None:
+        self.machine = machine
+        self._loop = loop
+        self._transmit = transmit_fn
+        self._stats = stats
+        self._tracer = tracer
+        self._base_rto = rto
+        self._send_states: dict[MachineId, _SendState] = {}
+        self._recv_states: dict[StreamKey, _RecvState] = {}
+        self.deliver_fn: Callable[[MachineId, Any], None] | None = None
+
+    def _send_state(self, dst: MachineId) -> _SendState:
+        state = self._send_states.get(dst)
+        if state is None:
+            state = _SendState()
+            self._send_states[dst] = state
+        return state
+
+    def _recv_state(self, key: StreamKey) -> _RecvState:
+        state = self._recv_states.get(key)
+        if state is None:
+            state = _RecvState()
+            self._recv_states[key] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        dst: MachineId,
+        payload: Any,
+        payload_bytes: int,
+        category: str = "user",
+    ) -> None:
+        """Reliably send *payload* to machine *dst*."""
+        sender = self._send_state(dst)
+        seq = sender.next_seq
+        sender.next_seq += 1
+        packet = Packet(
+            src=self.machine,
+            dst=dst,
+            kind=PacketKind.DATA,
+            seq=seq,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            category=category,
+        )
+        self._stats.note_send(packet)
+        timer = self._loop.call_after(
+            self._base_rto, self._retransmit, dst, seq
+        )
+        sender.unacked[seq] = _Outstanding(packet, timer, self._base_rto)
+        self._transmit(packet)
+
+    def _retransmit(self, dst: MachineId, seq: int) -> None:
+        sender = self._send_state(dst)
+        entry = sender.unacked.get(seq)
+        if entry is None:
+            return
+        entry.attempts += 1
+        entry.rto = min(entry.rto * RTO_BACKOFF, MAX_RTO)
+        entry.timer = self._loop.call_after(
+            entry.rto, self._retransmit, dst, seq
+        )
+        self._stats.note_send(entry.packet, retransmit=True)
+        if self._tracer is not None:
+            self._tracer.record(
+                "net",
+                "retransmit",
+                src=self.machine,
+                dst=dst,
+                seq=seq,
+                attempt=entry.attempts,
+            )
+        self._transmit(entry.packet)
+
+    @property
+    def unacked_count(self) -> int:
+        """Total packets awaiting acknowledgement across all peers."""
+        return sum(len(s.unacked) for s in self._send_states.values())
+
+    # ------------------------------------------------------------------
+    # Fail-stop takeover (crash recovery support)
+    # ------------------------------------------------------------------
+
+    def export_recv_states(self) -> dict[StreamKey, _RecvState]:
+        """The receive streams, for an executor to absorb (the published
+        state a backup would hold)."""
+        return dict(self._recv_states)
+
+    def absorb_recv_states(
+        self, states: dict[StreamKey, _RecvState]
+    ) -> None:
+        """Adopt a crashed machine's receive streams.
+
+        Keys carry the addressed destination, so a dead machine's streams
+        never collide with the executor's own.
+        """
+        for key, state in states.items():
+            if key not in self._recv_states:
+                self._recv_states[key] = state
+
+    def abandon_sends(self) -> int:
+        """Cancel every retransmission timer (the machine is dead).
+
+        Unacknowledged packets are lost, which is exactly fail-stop
+        semantics: a crashed sender's in-flight messages may or may not
+        have been delivered.  Returns how many were abandoned.
+        """
+        abandoned = 0
+        for sender in self._send_states.values():
+            for entry in sender.unacked.values():
+                self._loop.cancel(entry.timer)
+                abandoned += 1
+            sender.unacked.clear()
+        return abandoned
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        """Handle a raw packet arriving at (or executed by) this machine."""
+        if packet.kind is PacketKind.ACK:
+            self._on_ack(packet)
+        else:
+            self._on_data(packet)
+
+    def _on_ack(self, packet: Packet) -> None:
+        # The ack's source is the machine the data was *addressed* to
+        # (its executor echoes that address), matching our send state.
+        sender = self._send_state(packet.src)
+        entry = sender.unacked.pop(packet.payload, None)
+        if entry is not None:
+            self._loop.cancel(entry.timer)
+
+    def _on_data(self, packet: Packet) -> None:
+        stream = self._recv_state((packet.src, packet.dst))
+        self._send_ack(packet)
+        if packet.seq < stream.next_deliver_seq:
+            return  # duplicate of something already delivered
+        if packet.seq in stream.reorder_buffer:
+            return  # duplicate of something already buffered
+        stream.reorder_buffer[packet.seq] = packet
+        while stream.next_deliver_seq in stream.reorder_buffer:
+            ready = stream.reorder_buffer.pop(stream.next_deliver_seq)
+            stream.next_deliver_seq += 1
+            self._stats.note_delivery(ready)
+            if self.deliver_fn is not None:
+                self.deliver_fn(ready.src, ready.payload)
+
+    def _send_ack(self, data_packet: Packet) -> None:
+        ack = Packet(
+            # Acks carry the *addressed* destination as their source so
+            # the original sender finds its send state even when an
+            # executor is answering for a crashed machine.
+            src=data_packet.dst,
+            dst=data_packet.src,
+            kind=PacketKind.ACK,
+            seq=data_packet.seq,
+            payload=data_packet.seq,
+            payload_bytes=ACK_PAYLOAD_BYTES,
+            category="ack",
+        )
+        self._stats.note_send(ack)
+        self._transmit(ack)

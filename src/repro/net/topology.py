@@ -1,0 +1,196 @@
+"""Machine topology and routing.
+
+A topology is a set of machines joined by point-to-point wires, each with a
+latency and a bandwidth.  Routing uses latency-weighted shortest paths
+(Dijkstra) computed once and cached; DEMOS/MP's network of Z8000s was
+small, and so are ours (2..64 machines), so precomputation is trivial.
+
+Builders are provided for the shapes used in tests and benchmarks:
+full mesh (the default, matching a shared bus/LAN), line, ring, and star.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import NoRouteError, UnknownMachineError
+
+#: Machines are identified by small integers, like DEMOS/MP processor ids.
+MachineId = int
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A unidirectional point-to-point connection between two machines."""
+
+    src: MachineId
+    dst: MachineId
+    latency: int  #: propagation delay, microseconds
+    bandwidth: int  #: bytes per millisecond
+
+    def transfer_time(self, size_bytes: int) -> int:
+        """Microseconds to push *size_bytes* onto this wire and propagate."""
+        serialization = (size_bytes * 1_000) // max(self.bandwidth, 1)
+        return self.latency + serialization
+
+
+class Topology:
+    """The set of machines and wires, plus shortest-path routing."""
+
+    def __init__(self) -> None:
+        self._machines: set[MachineId] = set()
+        self._wires: dict[tuple[MachineId, MachineId], Wire] = {}
+        self._routes: dict[tuple[MachineId, MachineId], MachineId] | None = None
+
+    @property
+    def machines(self) -> list[MachineId]:
+        """All machine ids, sorted."""
+        return sorted(self._machines)
+
+    def add_machine(self, machine: MachineId) -> None:
+        """Register a machine.  Idempotent."""
+        self._machines.add(machine)
+        self._routes = None
+
+    def has_machine(self, machine: MachineId) -> bool:
+        """Whether *machine* exists in this topology."""
+        return machine in self._machines
+
+    def connect(
+        self,
+        a: MachineId,
+        b: MachineId,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> None:
+        """Join machines *a* and *b* with a bidirectional wire."""
+        self.add_machine(a)
+        self.add_machine(b)
+        self._wires[(a, b)] = Wire(a, b, latency, bandwidth)
+        self._wires[(b, a)] = Wire(b, a, latency, bandwidth)
+        self._routes = None
+
+    def wire(self, a: MachineId, b: MachineId) -> Wire:
+        """The wire from *a* to *b* (adjacent machines only)."""
+        try:
+            return self._wires[(a, b)]
+        except KeyError:
+            raise NoRouteError(f"no wire {a} -> {b}") from None
+
+    def neighbors(self, machine: MachineId) -> list[MachineId]:
+        """Machines directly wired to *machine*, sorted."""
+        return sorted(
+            dst for (src, dst) in self._wires if src == machine
+        )
+
+    def next_hop(self, src: MachineId, dst: MachineId) -> MachineId:
+        """First machine on the shortest path from *src* to *dst*."""
+        if src not in self._machines:
+            raise UnknownMachineError(f"unknown machine {src}")
+        if dst not in self._machines:
+            raise UnknownMachineError(f"unknown machine {dst}")
+        if src == dst:
+            return dst
+        if self._routes is None:
+            self._compute_routes()
+        assert self._routes is not None
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            raise NoRouteError(f"no route {src} -> {dst}") from None
+
+    def path(self, src: MachineId, dst: MachineId) -> list[MachineId]:
+        """Full machine sequence from *src* to *dst*, inclusive."""
+        hops = [src]
+        here = src
+        while here != dst:
+            here = self.next_hop(here, dst)
+            hops.append(here)
+        return hops
+
+    def _compute_routes(self) -> None:
+        """Dijkstra from every source, weighted by wire latency."""
+        routes: dict[tuple[MachineId, MachineId], MachineId] = {}
+        for source in self._machines:
+            dist: dict[MachineId, int] = {source: 0}
+            first: dict[MachineId, MachineId] = {}
+            heap: list[tuple[int, MachineId]] = [(0, source)]
+            while heap:
+                d, here = heapq.heappop(heap)
+                if d > dist.get(here, d):
+                    continue
+                for (a, b), wire in self._wires.items():
+                    if a != here:
+                        continue
+                    nd = d + wire.latency
+                    if nd < dist.get(b, nd + 1):
+                        dist[b] = nd
+                        first[b] = first.get(here, b) if here != source else b
+                        heapq.heappush(heap, (nd, b))
+            for dst, hop in first.items():
+                routes[(source, dst)] = hop
+        self._routes = routes
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def full_mesh(
+        cls,
+        n: int,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> "Topology":
+        """Every machine wired to every other (a LAN)."""
+        topo = cls()
+        for m in range(n):
+            topo.add_machine(m)
+        for a in range(n):
+            for b in range(a + 1, n):
+                topo.connect(a, b, latency, bandwidth)
+        return topo
+
+    @classmethod
+    def line(
+        cls,
+        n: int,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> "Topology":
+        """Machines in a chain: 0 - 1 - ... - (n-1)."""
+        topo = cls()
+        for m in range(n):
+            topo.add_machine(m)
+        for m in range(n - 1):
+            topo.connect(m, m + 1, latency, bandwidth)
+        return topo
+
+    @classmethod
+    def ring(
+        cls,
+        n: int,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> "Topology":
+        """A line with the ends joined."""
+        topo = cls.line(n, latency, bandwidth)
+        if n > 2:
+            topo.connect(n - 1, 0, latency, bandwidth)
+        return topo
+
+    @classmethod
+    def star(
+        cls,
+        n: int,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> "Topology":
+        """Machine 0 at the hub, all others as spokes."""
+        topo = cls()
+        for m in range(n):
+            topo.add_machine(m)
+        for m in range(1, n):
+            topo.connect(0, m, latency, bandwidth)
+        return topo

@@ -1,0 +1,91 @@
+"""Load and communication metrics for migration decision rules.
+
+The paper (§3.1) lists what a decision rule needs: per-machine processor
+loading and memory demand, per-process resource-use patterns, and —
+hardest of all — communication costs.  "Collection of the communication
+data is beyond the ability of most current systems"; here the tracer is
+the accounting subsystem, and :class:`CommunicationMatrix` builds the
+per-pair message counts from delivery records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.kernel.ids import ProcessId
+from repro.kernel.process_state import ProcessStatus
+from repro.sim.trace import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import System
+
+
+def machine_loads(system: "System") -> dict[int, int]:
+    """Run-queue length (plus running) per machine."""
+    return {
+        kernel.machine: kernel.scheduler.load for kernel in system.kernels
+    }
+
+
+def memory_demand(system: "System") -> dict[int, int]:
+    """Bytes of real memory in use per machine."""
+    return {
+        kernel.machine: kernel.memory.used_bytes for kernel in system.kernels
+    }
+
+
+def imbalance(loads: dict[int, int]) -> int:
+    """Spread between the most and least loaded machines."""
+    if not loads:
+        return 0
+    return max(loads.values()) - min(loads.values())
+
+
+def migratable_processes(
+    system: "System",
+    machine: int,
+    exclude_names: frozenset[str] = frozenset(),
+) -> list[ProcessId]:
+    """Processes on *machine* a balancer may move: runnable or waiting
+    user work, not already in motion, not excluded servers."""
+    kernel = system.kernel(machine)
+    movable = []
+    for pid, state in kernel.processes.items():
+        if state.status in (
+            ProcessStatus.IN_MIGRATION, ProcessStatus.TERMINATED,
+        ):
+            continue
+        if state.name in exclude_names:
+            continue
+        movable.append(pid)
+    return sorted(movable, key=str)
+
+
+class CommunicationMatrix:
+    """Per-(sender, receiver) message counts, fed by the tracer.
+
+    Subscribe before the workload runs::
+
+        matrix = CommunicationMatrix()
+        system.tracer.subscribe(matrix.observe)
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter[tuple[str, str]] = Counter()
+
+    def observe(self, record: TraceRecord) -> None:
+        """Tracer listener: count kernel.deliver records."""
+        if record.category == "kernel" and record.event == "deliver":
+            sender = record.fields.get("sender")
+            receiver = record.fields.get("pid")
+            if sender and receiver:
+                self.counts[(sender, receiver)] += 1
+
+    def traffic_between(self, a: str, b: str) -> int:
+        """Messages exchanged between processes *a* and *b* (both ways)."""
+        return self.counts[(a, b)] + self.counts[(b, a)]
+
+    def heaviest_pairs(self, top: int = 5) -> list[tuple[tuple[str, str], int]]:
+        """The busiest (sender, receiver) pairs."""
+        return self.counts.most_common(top)

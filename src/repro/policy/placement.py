@@ -1,0 +1,116 @@
+"""Placement with destination autonomy (paper §3.2).
+
+"The crucial questions for autonomous processors are 'Is the process
+willing to be moved?' and 'Will the destination machine accept it?' ...
+If the destination machine refuses, the process cannot be migrated.
+The source processor, once rebuffed, has the option of looking
+elsewhere."
+
+:class:`FallbackMigration` is that "looking elsewhere": it tries a
+preference list of destinations in order, moving on after each refusal,
+and reports where the process finally landed (or that everyone refused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.kernel.ids import ProcessId
+from repro.net.topology import MachineId
+from repro.stats.migration_cost import MigrationCostRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import System
+
+
+@dataclass
+class FallbackOutcome:
+    """Result of a fallback migration attempt."""
+
+    pid: ProcessId
+    placed_on: MachineId | None = None
+    refusals: list[tuple[MachineId, str]] = field(default_factory=list)
+    records: list[MigrationCostRecord] = field(default_factory=list)
+    done: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the process eventually landed somewhere."""
+        return self.placed_on is not None
+
+
+class FallbackMigration:
+    """Try destinations in preference order until one accepts."""
+
+    def __init__(
+        self,
+        system: "System",
+        pid: ProcessId,
+        preferences: list[MachineId],
+        on_done: Callable[[FallbackOutcome], None] | None = None,
+    ) -> None:
+        self.system = system
+        self.pid = pid
+        self.preferences = list(preferences)
+        self.outcome = FallbackOutcome(pid)
+        self._on_done = on_done
+        self._index = 0
+
+    def start(self) -> FallbackOutcome:
+        """Kick off the first attempt; returns the (live) outcome."""
+        self._try_next()
+        return self.outcome
+
+    def _try_next(self) -> None:
+        if self._index >= len(self.preferences):
+            self._finish()
+            return
+        dest = self.preferences[self._index]
+        self._index += 1
+        kernel = self.system.kernel_hosting(self.pid)
+        if kernel is None:
+            self._finish()
+            return
+        if dest == kernel.machine:
+            # Already there; that counts as placed.
+            self.outcome.placed_on = dest
+            self._finish()
+            return
+        initiated = kernel.migration.start(
+            self.pid, dest, on_done=self._attempt_done,
+        )
+        if not initiated:
+            self._try_next()
+
+    def _attempt_done(
+        self, success: bool, record: MigrationCostRecord
+    ) -> None:
+        self.outcome.records.append(record)
+        if success:
+            self.outcome.placed_on = record.dest
+            self._finish()
+            return
+        self.outcome.refusals.append(
+            (record.dest, record.refusal_reason or "refused"),
+        )
+        self.system.tracer.record(
+            "policy", "rebuffed", pid=str(self.pid), dest=record.dest,
+            reason=record.refusal_reason,
+        )
+        self._try_next()
+
+    def _finish(self) -> None:
+        self.outcome.done = True
+        if self._on_done is not None:
+            self._on_done(self.outcome)
+
+
+def migrate_with_fallback(
+    system: "System",
+    pid: ProcessId,
+    preferences: list[MachineId],
+    on_done: Callable[[FallbackOutcome], None] | None = None,
+) -> FallbackOutcome:
+    """Convenience wrapper: start a fallback migration immediately."""
+    return FallbackMigration(system, pid, preferences, on_done).start()

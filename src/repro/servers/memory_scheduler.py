@@ -1,0 +1,68 @@
+"""The memory scheduler (§2.3).
+
+Tracks per-machine memory occupancy from reports and answers placement
+queries: "which machine should a process of this size be created on?"
+With no reports yet it falls back to round-robin, which is also the
+uniform-load answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.kernel.context import ProcessContext
+from repro.servers.common import serve_reply
+
+
+def memory_scheduler_program(
+    ctx: ProcessContext, machines: int = 0
+) -> Generator[Any, Any, None]:
+    """The memory-scheduler server loop.
+
+    *machines* bounds round-robin placement; zero means "learn machine
+    ids from reports only".
+    """
+    free_bytes: dict[int, int] = {}
+    rr_next = 0
+
+    while True:
+        msg = yield ctx.receive()
+        payload = msg.payload or {}
+
+        if msg.op == "report-memory":
+            free_bytes[payload["machine"]] = payload["free"]
+            yield from serve_reply(
+                ctx, msg, "report-memory-reply", {"ok": True},
+            )
+
+        elif msg.op == "place":
+            needed = payload.get("bytes", 0)
+            candidates = {
+                m: free for m, free in free_bytes.items() if free >= needed
+            }
+            if candidates:
+                machine = max(candidates, key=lambda m: (candidates[m], -m))
+            elif machines > 0:
+                machine = rr_next % machines
+                rr_next += 1
+            elif free_bytes:
+                machine = max(free_bytes, key=lambda m: (free_bytes[m], -m))
+            else:
+                machine = 0
+            yield from serve_reply(
+                ctx, msg, "place-reply",
+                {"ok": True, "machine": machine,
+                 "req_id": payload.get("req_id")},
+            )
+
+        elif msg.op == "status":
+            yield from serve_reply(
+                ctx, msg, "status-reply",
+                {"ok": True, "free_bytes": dict(free_bytes)},
+            )
+
+        else:
+            yield from serve_reply(
+                ctx, msg, "error-reply",
+                {"ok": False, "error": f"unknown op {msg.op!r}"},
+            )

@@ -1,0 +1,255 @@
+"""The process manager (§2.3, §3.1).
+
+"The process and memory managers handle all the high-level scheduling
+decisions for processes. ... They control processes by sending messages
+to kernels to manipulate process states.  For example, although the
+kernel implements the mechanisms of migrating a process, the process
+manager makes the decision of when and to where to migrate a process."
+
+This server:
+
+- creates processes by name (asking the memory scheduler for placement
+  when the requester does not care which machine);
+- keeps a registry of where every process it knows about lives, updated
+  by kernel notifications — including a DELIVERTOKERNEL control link per
+  process, so stop/start/migrate directives follow the process around;
+- answers ``where-is`` queries from kernels, which is what makes the
+  return-to-sender ablation (§4) workable at all;
+- accepts load reports, the raw material for migration decision rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.kernel.context import ProcessContext
+from repro.kernel.ids import ProcessAddress, ProcessId
+from repro.kernel.ops import (
+    OP_MIGRATE_PROCESS,
+    OP_SPAWN,
+    OP_SPAWN_REPLY,
+    OP_START_PROCESS,
+    OP_STOP_PROCESS,
+    OP_WHERE_IS_REPLY,
+)
+from repro.servers.common import serve_reply
+
+
+@dataclass
+class _KnownProcess:
+    """What the process manager remembers about one process."""
+
+    pid: ProcessId
+    machine: int
+    name: str = ""
+    control_link: int | None = None  #: DELIVERTOKERNEL link id, if held
+    alive: bool = True
+
+
+@dataclass
+class _CreateRequest:
+    """An in-flight create-process request."""
+
+    client_reply: int | None
+    program: str
+    params: dict
+    name: str
+    machine: int | None = None
+    placement_link: int | None = None
+    client_req_id: Any = None
+
+
+def process_manager_program(ctx: ProcessContext) -> Generator[Any, Any, None]:
+    """The process-manager server loop."""
+    registry: dict[ProcessId, _KnownProcess] = {}
+    loads: dict[int, dict] = {}
+    pending: dict[int, _CreateRequest] = {}
+    next_req = 0
+
+    def _fresh_control_link(msg: Any, known: _KnownProcess) -> None:
+        """Adopt a control link enclosed with a notification."""
+        if msg.delivered_link_ids:
+            known.control_link = msg.delivered_link_ids[0]
+
+    while True:
+        msg = yield ctx.receive()
+        op = msg.op
+        payload = msg.payload or {}
+
+        # ---------------- process creation -----------------------------
+        if op == "create-process":
+            next_req += 1
+            req_id = next_req
+            request = _CreateRequest(
+                client_reply=(msg.delivered_link_ids[0]
+                              if msg.delivered_link_ids else None),
+                program=payload["program"],
+                params=payload.get("params") or {},
+                name=payload.get("name", payload["program"]),
+                machine=payload.get("machine"),
+                client_req_id=payload.get("req_id"),
+            )
+            pending[req_id] = request
+            if request.machine is None:
+                placement_reply = yield ctx.create_link()
+                request.placement_link = placement_reply
+                yield ctx.send(
+                    ctx.bootstrap["memory_scheduler"], op="place",
+                    payload={"bytes": payload.get("bytes", 8_192),
+                             "req_id": req_id},
+                    links=(placement_reply,),
+                )
+            else:
+                yield from _ask_kernel_to_spawn(ctx, request, req_id)
+
+        elif op == "place-reply":
+            req_id = payload.get("req_id")
+            request = pending.get(req_id)
+            if request is None:
+                continue
+            request.machine = payload["machine"]
+            if request.placement_link is not None:
+                yield ctx.destroy_link(request.placement_link)
+                request.placement_link = None
+            yield from _ask_kernel_to_spawn(ctx, request, req_id)
+
+        elif op == OP_SPAWN_REPLY:
+            req_id = payload.get("req_id")
+            request = pending.pop(req_id, None)
+            if request is None:
+                continue
+            if payload.get("ok"):
+                pid: ProcessId = payload["pid"]
+                known = _KnownProcess(
+                    pid, payload["machine"], request.name,
+                )
+                _fresh_control_link(msg, known)
+                registry[pid] = known
+            if request.client_reply is not None:
+                yield ctx.send(
+                    request.client_reply, op="create-process-reply",
+                    payload={
+                        "ok": payload.get("ok", False),
+                        "pid": payload.get("pid"),
+                        "machine": payload.get("machine"),
+                        "error": payload.get("error"),
+                        "req_id": request.client_req_id,
+                    },
+                )
+                yield ctx.destroy_link(request.client_reply)
+
+        # ---------------- control operations ---------------------------
+        elif op in ("migrate", "stop", "start"):
+            pid = payload["pid"]
+            known = registry.get(pid)
+            ok = known is not None and known.alive and known.control_link is not None
+            if ok:
+                assert known is not None and known.control_link is not None
+                control_op = {
+                    "migrate": OP_MIGRATE_PROCESS,
+                    "stop": OP_STOP_PROCESS,
+                    "start": OP_START_PROCESS,
+                }[op]
+                control_payload = (
+                    {"dest": payload["dest"]} if op == "migrate" else {}
+                )
+                yield ctx.send(
+                    known.control_link, op=control_op,
+                    payload=control_payload, payload_bytes=8,
+                    deliver_to_kernel=True,
+                )
+                if op == "migrate":
+                    # Optimistically track; the "migrated" notification
+                    # (with a fresh control link) confirms.
+                    known.machine = payload["dest"]
+            yield from serve_reply(
+                ctx, msg, f"{op}-reply",
+                {"ok": ok, "pid": pid,
+                 "error": None if ok else "unknown process"},
+            )
+
+        # ---------------- kernel notifications -------------------------
+        elif op == "process-created":
+            pid = payload["pid"]
+            known = registry.get(pid) or _KnownProcess(
+                pid, payload["machine"], payload.get("name", ""),
+            )
+            known.machine = payload["machine"]
+            _fresh_control_link(msg, known)
+            registry[pid] = known
+
+        elif op == "migrated":
+            pid = payload["pid"]
+            known = registry.get(pid) or _KnownProcess(pid, payload["to"])
+            known.machine = payload["to"]
+            _fresh_control_link(msg, known)
+            registry[pid] = known
+
+        elif op == "process-exited":
+            known = registry.get(payload["pid"])
+            if known is not None:
+                known.alive = False
+
+        elif op == "report-load":
+            loads[payload["machine"]] = payload
+
+        # ---------------- queries --------------------------------------
+        elif op == "where-is":
+            pid = payload["pid"]
+            known = registry.get(pid)
+            machine = known.machine if known is not None and known.alive else None
+            reply_machine = payload.get("reply_machine")
+            kernel_link = ctx.bootstrap.get(f"kernel:{reply_machine}")
+            if kernel_link is not None:
+                yield ctx.send(
+                    kernel_link, op=OP_WHERE_IS_REPLY,
+                    payload={"pid": pid, "machine": machine},
+                    payload_bytes=8,
+                )
+            elif msg.delivered_link_ids:
+                yield from serve_reply(
+                    ctx, msg, "where-is-reply-user",
+                    {"ok": machine is not None, "pid": pid,
+                     "machine": machine},
+                )
+
+        elif op == "status":
+            yield from serve_reply(
+                ctx, msg, "status-reply",
+                {
+                    "ok": True,
+                    "processes": {
+                        str(k.pid): {"machine": k.machine, "name": k.name,
+                                     "alive": k.alive}
+                        for k in registry.values()
+                    },
+                    "loads": dict(loads),
+                },
+                payload_bytes=64,
+            )
+
+        else:
+            yield from serve_reply(
+                ctx, msg, "error-reply",
+                {"ok": False, "error": f"unknown op {op!r}"},
+            )
+
+
+def _ask_kernel_to_spawn(
+    ctx: ProcessContext, request: _CreateRequest, req_id: int
+) -> Generator[Any, Any, None]:
+    """Forward a create request to the chosen machine's kernel."""
+    machine = request.machine if request.machine is not None else 0
+    kernel_link = ctx.bootstrap[f"kernel:{machine}"]
+    yield ctx.send(
+        kernel_link, op=OP_SPAWN,
+        payload={
+            "program": request.program,
+            "params": request.params,
+            "name": request.name,
+            "reply_to": ProcessAddress(ctx.pid, ctx.machine),
+            "req_id": req_id,
+        },
+        payload_bytes=24,
+    )

@@ -1,0 +1,117 @@
+"""The switchboard: "a server that distributes links by name" (§2.3).
+
+Services register a link to themselves under a name; any process can then
+look the name up and receive a duplicate of that link.  Lookups for names
+not yet registered are parked and answered the moment the registration
+arrives, which makes boot ordering a non-issue.
+
+Because the registered links live in the switchboard's own link table,
+they are context independent: a service may migrate and the stored link
+keeps working (stale copies get patched by the link-update mechanism as
+they are used).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.kernel.context import ProcessContext
+from repro.servers.common import serve_reply
+
+
+def switchboard_program(ctx: ProcessContext) -> Generator[Any, Any, None]:
+    """The switchboard server loop."""
+    registry: dict[str, int] = {}  # name -> link id in my table
+    parked: dict[str, list[int]] = {}  # name -> waiting reply link ids
+
+    while True:
+        msg = yield ctx.receive()
+        op = msg.op
+        payload = msg.payload or {}
+        name = payload.get("name", "")
+
+        if op == "register":
+            # links: (reply, service)
+            if len(msg.delivered_link_ids) < 2:
+                yield from serve_reply(
+                    ctx, msg, "register-reply",
+                    {"ok": False, "error": "no service link enclosed"},
+                )
+                continue
+            service_link = msg.delivered_link_ids[1]
+            replaced = name in registry
+            if replaced:
+                yield ctx.destroy_link(registry[name])
+            registry[name] = service_link
+            yield from serve_reply(
+                ctx, msg, "register-reply",
+                {"ok": True, "replaced": replaced},
+            )
+            for reply_link in parked.pop(name, []):
+                yield ctx.send(
+                    reply_link, op="lookup-reply",
+                    payload={"ok": True, "name": name},
+                    links=(service_link,),
+                )
+                yield ctx.destroy_link(reply_link)
+
+        elif op == "lookup":
+            if name in registry:
+                yield from serve_reply(
+                    ctx, msg, "lookup-reply",
+                    {"ok": True, "name": name},
+                    links=(registry[name],),
+                )
+            elif payload.get("wait", True) and msg.delivered_link_ids:
+                parked.setdefault(name, []).append(
+                    msg.delivered_link_ids[0]
+                )
+            else:
+                yield from serve_reply(
+                    ctx, msg, "lookup-reply",
+                    {"ok": False, "name": name, "error": "unknown name"},
+                )
+
+        elif op == "unregister":
+            link_id = registry.pop(name, None)
+            if link_id is not None:
+                yield ctx.destroy_link(link_id)
+            yield from serve_reply(
+                ctx, msg, "unregister-reply",
+                {"ok": link_id is not None, "name": name},
+            )
+
+        elif op == "list":
+            yield from serve_reply(
+                ctx, msg, "list-reply",
+                {"ok": True, "names": sorted(registry)},
+            )
+
+        else:
+            yield from serve_reply(
+                ctx, msg, "error-reply",
+                {"ok": False, "error": f"unknown op {op!r}"},
+            )
+
+
+def register_service(
+    ctx: ProcessContext, name: str
+) -> Generator[Any, Any, int]:
+    """Sub-generator: create a link to myself and register it as *name*.
+
+    Returns the local id of the service link (keep it; destroying it does
+    not unregister the copy the switchboard holds).
+    """
+    service_link = yield ctx.create_link()
+    reply_link = yield ctx.create_link()
+    yield ctx.send(
+        ctx.bootstrap["switchboard"], op="register",
+        payload={"name": name}, links=(reply_link, service_link),
+    )
+    ack = yield ctx.receive()
+    yield ctx.destroy_link(reply_link)
+    if not (ack.op == "register-reply" and ack.payload.get("ok")):
+        from repro.errors import SwitchboardError
+
+        raise SwitchboardError(f"registration of {name!r} failed: {ack!r}")
+    return service_link

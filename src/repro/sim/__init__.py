@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package is the "hardware" of the reproduction: an integer-microsecond
+clock, an event loop with FIFO tie-breaking, named random streams, and a
+structured tracer.  Everything above it (network, kernels, servers) is
+driven purely by events scheduled here.
+"""
+
+from repro.sim.clock import MSEC, SEC, USEC, SimClock, format_time, msec, sec, usec
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "MSEC",
+    "SEC",
+    "USEC",
+    "EventLoop",
+    "EventQueue",
+    "RandomStreams",
+    "ScheduledEvent",
+    "SimClock",
+    "TraceRecord",
+    "Tracer",
+    "format_time",
+    "msec",
+    "sec",
+    "usec",
+]

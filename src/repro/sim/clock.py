@@ -1,0 +1,85 @@
+"""Simulated time.
+
+All simulated time in this library is an integer count of *microseconds*.
+Integers keep the event queue deterministic (no float rounding) and make
+trace output exact.  The helpers here convert between human units and the
+internal representation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+#: One microsecond, the base unit of simulated time.
+USEC: int = 1
+#: One millisecond in simulated time units.
+MSEC: int = 1_000
+#: One second in simulated time units.
+SEC: int = 1_000_000
+
+
+def usec(n: float) -> int:
+    """Return *n* microseconds as a simulated-time integer."""
+    return int(round(n))
+
+
+def msec(n: float) -> int:
+    """Return *n* milliseconds as a simulated-time integer."""
+    return int(round(n * MSEC))
+
+
+def sec(n: float) -> int:
+    """Return *n* seconds as a simulated-time integer."""
+    return int(round(n * SEC))
+
+
+def format_time(t: int) -> str:
+    """Render a simulated time as a human-readable string.
+
+    >>> format_time(1_500)
+    '1.500ms'
+    >>> format_time(2_000_000)
+    '2.000s'
+    """
+    if t < 0:
+        raise ClockError(f"negative simulated time: {t}")
+    if t < MSEC:
+        return f"{t}us"
+    if t < SEC:
+        return f"{t / MSEC:.3f}ms"
+    return f"{t / SEC:.3f}s"
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    The clock is owned by the :class:`~repro.sim.loop.EventLoop`; everything
+    else reads it through :meth:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start}")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def advance_to(self, t: int) -> None:
+        """Move the clock forward to time *t*.
+
+        Raises :class:`ClockError` if *t* is in the past; simulated time
+        never runs backwards.
+        """
+        if t < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {t}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={format_time(self._now)})"

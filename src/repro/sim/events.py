@@ -1,0 +1,92 @@
+"""The event queue underlying the discrete-event engine.
+
+Events are ordered by (time, sequence-number): two events scheduled for the
+same instant fire in the order they were scheduled, which keeps every run
+of the simulator bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ClockError
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback registered to fire at a simulated instant.
+
+    Comparison uses only ``(time, seq)`` so the heap never tries to compare
+    callbacks.  Cancelling marks the event dead; the queue skips dead events
+    when popping instead of paying O(n) removal.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (the loop calls this, not user code)."""
+        self.callback(*self.args)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`ScheduledEvent`."""
+
+    __slots__ = ("_heap", "_next_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def push(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+    ) -> ScheduledEvent:
+        """Schedule *callback(*args)* at simulated time *time*."""
+        if time < 0:
+            raise ClockError(f"cannot schedule event at negative time {time}")
+        event = ScheduledEvent(time, self._next_seq, callback, args)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def note_cancelled(self) -> None:
+        """Tell the queue one of its events was cancelled externally."""
+        self._live -= 1
+
+    def peek_time(self) -> int | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> ScheduledEvent | None:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,147 @@
+"""The discrete-event loop that drives every simulated machine.
+
+A single :class:`EventLoop` hosts the whole distributed system: kernels,
+network channels, and workload generators all schedule callbacks here.
+Determinism is guaranteed by the integer clock and FIFO tie-breaking in
+:class:`~repro.sim.events.EventQueue`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ClockError, SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue, ScheduledEvent
+
+
+class EventLoop:
+    """Deterministic discrete-event executor.
+
+    Typical use::
+
+        loop = EventLoop()
+        loop.call_after(10, lambda: print("at t=10us"))
+        loop.run()
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.clock = SimClock(start)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    def call_at(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        """Schedule *callback* at absolute simulated time *time*."""
+        if time < self.clock.now:
+            raise ClockError(
+                f"cannot schedule at {time}, clock already at {self.clock.now}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def call_after(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        """Schedule *callback* *delay* microseconds from now."""
+        if delay < 0:
+            raise ClockError(f"negative delay {delay}")
+        return self.call_at(self.clock.now + delay, callback, *args)
+
+    def call_soon(
+        self,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        """Schedule *callback* at the current instant (after queued peers)."""
+        return self.call_at(self.clock.now, callback, *args)
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a scheduled event.  Idempotent."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        event.fire()
+        return True
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or *max_events* fire).
+
+        Returns the number of events executed by this call.  A
+        *max_events* bound is the standard guard against accidental
+        infinite event cascades in tests.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        fired = 0
+        try:
+            while max_events is None or fired < max_events:
+                if not self.step():
+                    break
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def run_until(self, deadline: int, max_events: int | None = None) -> int:
+        """Run events with time <= *deadline*, then set the clock there.
+
+        Events scheduled beyond the deadline stay queued, so simulation can
+        be resumed with further ``run_until`` calls.
+        """
+        if deadline < self.clock.now:
+            raise ClockError(
+                f"deadline {deadline} is before current time {self.clock.now}"
+            )
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        fired = 0
+        try:
+            while max_events is None or fired < max_events:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > deadline:
+                    break
+                self.step()
+                fired += 1
+            self.clock.advance_to(deadline)
+        finally:
+            self._running = False
+        return fired
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLoop(now={self.clock.now}, pending={self.pending_events},"
+            f" fired={self._events_fired})"
+        )

@@ -1,0 +1,47 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (channel fault injection, workload arrival
+processes, placement policies) draws from its own named stream derived from
+a single root seed, so adding randomness to one component never perturbs
+another — the classic trick for reproducible systems simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RandomStreams:
+    """A factory of independent, named :class:`random.Random` streams."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use.
+
+        The same (root_seed, name) pair always yields an identical
+        sequence, regardless of creation order.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(
+            f"{self.root_seed}/{name}".encode()
+        ).digest()
+        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Derive a child factory whose streams are independent of ours."""
+        digest = hashlib.sha256(f"{self.root_seed}/{name}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[8:16], "big"))
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomStreams(root_seed={self.root_seed},"
+            f" streams={sorted(self._streams)})"
+        )

@@ -1,0 +1,105 @@
+"""System-wide measurement reports.
+
+Aggregates the counters scattered across the network and the kernels into
+one flat report — the "means to collect the above information in one
+place" the paper lists as a prerequisite for migration decision rules
+(§3.1), and the thing examples print at the end of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import System
+
+
+@dataclass
+class SystemReport:
+    """A snapshot of everything measurable about a run."""
+
+    now: int
+    machines: int
+    processes_alive: int
+    processes_exited: int
+    migrations_completed: int
+    migrations_refused: int
+    total_downtime: int
+    admin_messages: int
+    admin_bytes: int
+    state_bytes_moved: int
+    pending_messages_forwarded: int
+    messages_forwarded: int
+    link_updates_applied: int
+    links_retargeted: int
+    forwarding_entries: int
+    forwarding_residual_bytes: int
+    network: dict[str, int] = field(default_factory=dict)
+    sends_by_category: dict[str, int] = field(default_factory=dict)
+    per_machine_load: dict[int, int] = field(default_factory=dict)
+
+    def lines(self) -> list[str]:
+        """Human-readable rendering, one fact per line."""
+        out = [
+            f"t={self.now}us across {self.machines} machines",
+            f"processes: {self.processes_alive} alive, "
+            f"{self.processes_exited} exited",
+            f"migrations: {self.migrations_completed} completed, "
+            f"{self.migrations_refused} refused; total downtime "
+            f"{self.total_downtime}us",
+            f"migration admin traffic: {self.admin_messages} messages, "
+            f"{self.admin_bytes} payload bytes",
+            f"state moved: {self.state_bytes_moved} bytes; pending "
+            f"messages forwarded: {self.pending_messages_forwarded}",
+            f"forwarding: {self.messages_forwarded} redirects, "
+            f"{self.forwarding_entries} live entries "
+            f"({self.forwarding_residual_bytes} bytes)",
+            f"link updates applied: {self.link_updates_applied} "
+            f"({self.links_retargeted} links retargeted)",
+        ]
+        return out
+
+
+def collect_report(system: "System") -> SystemReport:
+    """Build a :class:`SystemReport` from a (possibly running) system."""
+    records = system.migration_records()
+    completed = [r for r in records if r.success]
+    refused = [r for r in records if r.success is False]
+    return SystemReport(
+        now=system.loop.now,
+        machines=len(system.kernels),
+        processes_alive=sum(len(k.processes) for k in system.kernels),
+        processes_exited=sum(
+            k.stats.processes_exited for k in system.kernels
+        ),
+        migrations_completed=len(completed),
+        migrations_refused=len(refused),
+        total_downtime=sum(r.downtime or 0 for r in completed),
+        admin_messages=sum(r.admin_message_count for r in records),
+        admin_bytes=sum(r.admin_bytes for r in records),
+        state_bytes_moved=sum(r.state_transfer_bytes for r in completed),
+        pending_messages_forwarded=sum(
+            r.pending_forwarded for r in completed
+        ),
+        messages_forwarded=sum(
+            k.stats.messages_forwarded for k in system.kernels
+        ),
+        link_updates_applied=sum(
+            k.stats.link_updates_applied for k in system.kernels
+        ),
+        links_retargeted=sum(
+            k.stats.links_retargeted for k in system.kernels
+        ),
+        forwarding_entries=system.total_forwarding_entries(),
+        forwarding_residual_bytes=sum(
+            k.forwarding.storage_bytes for k in system.kernels
+        ),
+        network=system.network.stats.snapshot(),
+        sends_by_category=dict(
+            system.network.stats.sends_by_category
+        ),
+        per_machine_load={
+            k.machine: k.scheduler.load for k in system.kernels
+        },
+    )

@@ -1,0 +1,94 @@
+"""Per-migration cost ledger (paper §6).
+
+The paper separates the cost of moving a process into the *state transfer
+cost* (three data moves: program, resident state, swappable state, plus
+forwarding the pending message queue) and the *administrative cost*
+(nine 6-12 byte control messages).  Every migration fills in one
+:class:`MigrationCostRecord`, which benchmark E1 reads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.ids import ProcessId
+from repro.net.topology import MachineId
+
+#: The three data moves of §6, in transfer order.
+SEGMENTS = ("resident", "swappable", "program")
+
+
+@dataclass
+class MigrationCostRecord:
+    """Everything one migration cost, as observed from the source kernel."""
+
+    pid: ProcessId
+    source: MachineId
+    dest: MachineId
+    started_at: int
+    success: bool | None = None
+    #: (op, payload_bytes) for each administrative message the source sent
+    #: or received; a successful migration logs exactly nine
+    admin_messages: list[tuple[str, int]] = field(default_factory=list)
+    #: bytes per data move, keyed by segment name
+    segment_bytes: dict[str, int] = field(default_factory=dict)
+    #: number of move-data packets used for the state transfer
+    datamove_chunks: int = 0
+    #: messages that were pending in the queue and had to be forwarded
+    pending_forwarded: int = 0
+    #: simulated time the process restarted on the destination
+    restarted_at: int | None = None
+    #: simulated time the source learned the migration finished
+    completed_at: int | None = None
+    refusal_reason: str | None = None
+
+    def note_admin(self, op: str, payload_bytes: int) -> None:
+        """Log one administrative message."""
+        self.admin_messages.append((op, payload_bytes))
+
+    @property
+    def admin_message_count(self) -> int:
+        """How many administrative messages this migration used."""
+        return len(self.admin_messages)
+
+    @property
+    def admin_bytes(self) -> int:
+        """Total administrative payload bytes."""
+        return sum(size for _op, size in self.admin_messages)
+
+    @property
+    def state_transfer_bytes(self) -> int:
+        """Total bytes of the three data moves."""
+        return sum(self.segment_bytes.values())
+
+    @property
+    def downtime(self) -> int | None:
+        """Microseconds the process was unrunnable (freeze to restart)."""
+        if self.restarted_at is None:
+            return None
+        return self.restarted_at - self.started_at
+
+    @property
+    def duration(self) -> int | None:
+        """Microseconds from initiation until the source saw completion."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def summary(self) -> dict[str, object]:
+        """A flat dict suitable for printing as a benchmark row."""
+        return {
+            "pid": str(self.pid),
+            "source": self.source,
+            "dest": self.dest,
+            "success": self.success,
+            "admin_messages": self.admin_message_count,
+            "admin_bytes": self.admin_bytes,
+            "resident_bytes": self.segment_bytes.get("resident", 0),
+            "swappable_bytes": self.segment_bytes.get("swappable", 0),
+            "program_bytes": self.segment_bytes.get("program", 0),
+            "datamove_chunks": self.datamove_chunks,
+            "pending_forwarded": self.pending_forwarded,
+            "downtime_us": self.downtime,
+            "duration_us": self.duration,
+        }

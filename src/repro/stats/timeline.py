@@ -1,0 +1,103 @@
+"""Render migration traces as text timelines.
+
+Turns the tracer's ``migrate``/``forward``/``linkupd`` records into the
+kind of annotated timeline the paper draws in Figure 3-1 — useful in
+examples and when debugging protocol changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import Tracer
+
+#: Events rendered, with their display labels.
+_LABELS = {
+    "step1-freeze": "1 freeze (source)",
+    "step2-request": "2 request -> destination",
+    "step3-allocate": "3 allocate state (destination)",
+    "step4-state": "4 transfer state",
+    "step5-program": "5 transfer program",
+    "step6-forward-pending": "6 forward pending messages (source)",
+    "step7-cleanup": "7 cleanup + forwarding address (source)",
+    "step8-restart": "8 restart (destination)",
+}
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One rendered event."""
+
+    time: int
+    label: str
+    detail: str
+
+
+def migration_timeline(
+    tracer: Tracer, pid: str | None = None
+) -> list[TimelineEntry]:
+    """Extract the migration steps (optionally for one pid) in order."""
+    entries = []
+    for record in tracer.records("migrate"):
+        if pid is not None and record.fields.get("pid") != pid:
+            continue
+        label = _LABELS.get(record.event)
+        if label is None:
+            continue
+        detail = " ".join(
+            f"{key}={value}"
+            for key, value in record.fields.items()
+            if key != "pid"
+        )
+        entries.append(TimelineEntry(record.time, label, detail))
+    return entries
+
+
+def render_timeline(
+    entries: list[TimelineEntry],
+    width: int = 40,
+) -> str:
+    """An ASCII timeline with proportional spacing.
+
+    >>> from repro.sim.trace import Tracer
+    >>> tracer = Tracer(lambda: 0)
+    >>> tracer.record("migrate", "step1-freeze", pid="p0.1")
+    >>> print(render_timeline(migration_timeline(tracer)))
+    t=         0us |> 1 freeze (source)
+    """
+    if not entries:
+        return "(no migration events)"
+    start = entries[0].time
+    span = max(entries[-1].time - start, 1)
+    lines = []
+    for entry in entries:
+        offset = (entry.time - start) * width // span
+        bar = " " * offset + "|>"
+        detail = f"  [{entry.detail}]" if entry.detail else ""
+        lines.append(
+            f"t={entry.time:>10}us {bar} {entry.label}{detail}"
+        )
+    return "\n".join(lines)
+
+
+def forwarding_story(tracer: Tracer, pid: str) -> list[str]:
+    """Narrate every forwarding hit and link update for *pid*."""
+    story = []
+    for record in tracer:
+        if record.category == "forward" and record.event == "hit":
+            if record.fields.get("pid") == pid:
+                story.append(
+                    f"t={record.time}us: message #"
+                    f"{record.fields.get('serial')} redirected to machine "
+                    f"{record.fields.get('to')} (hop "
+                    f"{record.fields.get('hop')})"
+                )
+        elif record.category == "linkupd" and record.event == "applied":
+            if record.fields.get("target") == pid:
+                story.append(
+                    f"t={record.time}us: {record.fields.get('sender')}'s "
+                    f"links retargeted to machine "
+                    f"{record.fields.get('new_machine')} "
+                    f"({record.fields.get('changed')} changed)"
+                )
+    return story

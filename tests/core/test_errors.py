@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        exception_types = [
+            value for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        for exc_type in exception_types:
+            assert issubclass(exc_type, errors.ReproError), exc_type
+
+    def test_kernel_errors_grouped(self):
+        for exc_type in (
+            errors.UnknownProcessError,
+            errors.InvalidLinkError,
+            errors.LinkAccessError,
+            errors.ProcessStateError,
+            errors.MigrationError,
+            errors.TransferError,
+            errors.MemoryError_,
+        ):
+            assert issubclass(exc_type, errors.KernelError)
+
+    def test_refusal_is_a_migration_error(self):
+        assert issubclass(
+            errors.MigrationRefusedError, errors.MigrationError,
+        )
+
+    def test_server_errors_grouped(self):
+        assert issubclass(errors.FileSystemError, errors.ServerError)
+        assert issubclass(errors.SwitchboardError, errors.ServerError)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.NoRouteError("nope")
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)

@@ -1,0 +1,103 @@
+"""Chaos test: heavy mixed workload + random migrations + channel faults.
+
+A deterministic "monkey" moves random user processes between random
+machines every few milliseconds while echo traffic, file I/O, and compute
+jobs run, over a lossy jittery network.  Global invariants:
+
+- every workload completes with correct results;
+- no message is lost or duplicated (workload-level transcripts);
+- the network quiesces (no retransmission leaks);
+- memory accounting balances on every machine;
+- every forwarding address left behind is either live or collected.
+"""
+
+from repro.net.channel import FaultPlan
+from repro.policy.metrics import migratable_processes
+from repro.workloads.compute import compute_bound
+from repro.workloads.file_clients import file_io_client
+from repro.workloads.pingpong import echo_server, pinger
+from repro.workloads.results import ResultsBoard
+from tests.conftest import drain, make_system
+
+MONKEY_PERIOD = 7_000
+HORIZON = 400_000
+
+
+class TestChaos:
+    def test_everything_survives_the_monkey(self):
+        board = ResultsBoard()
+        system = make_system(
+            seed=2026,
+            faults=FaultPlan(drop_probability=0.05, max_jitter=500),
+        )
+        rng = system.rngs.stream("monkey")
+
+        system.spawn(lambda ctx: echo_server(ctx), machine=2, name="echo")
+        system.spawn(
+            lambda ctx: pinger(ctx, rounds=10, gap=8_000, board=board,
+                               key="ping"),
+            machine=3, name="pinger",
+        )
+        for tag in range(2):
+            system.spawn(
+                lambda ctx, t=tag: file_io_client(
+                    ctx, tag=t, operations=5, gap=4_000, board=board,
+                    key="io",
+                ),
+                machine=tag, name=f"io-{tag}",
+            )
+        for i in range(3):
+            system.spawn(
+                lambda ctx: compute_bound(ctx, total=50_000, board=board,
+                                          key="compute"),
+                machine=0, name=f"crunch-{i}",
+            )
+
+        moves = {"count": 0}
+
+        def monkey():
+            machines = [k.machine for k in system.kernels]
+            source = rng.choice(machines)
+            candidates = migratable_processes(system, source)
+            if candidates:
+                victim = rng.choice(candidates)
+                dest = rng.choice(
+                    [m for m in machines if m != source]
+                )
+                if system.kernel(source).migration.start(victim, dest):
+                    moves["count"] += 1
+            if system.loop.now < HORIZON:
+                system.loop.call_after(MONKEY_PERIOD, monkey)
+
+        system.loop.call_after(MONKEY_PERIOD, monkey)
+        drain(system, max_events=50_000_000)
+
+        # The monkey really did interfere.
+        assert moves["count"] >= 10
+
+        # Every workload finished, correctly.
+        ping = board.only("ping-summary")["transcript"]
+        assert [t["round"] for t in ping] == list(range(10))
+        io_results = board.get("io")
+        assert len(io_results) == 2
+        for result in io_results:
+            assert result["errors"] == [], result
+        assert len(board.get("compute")) == 3
+
+        # Transport-level conservation.
+        assert system.network.quiescent()
+
+        # Memory accounting balances: used == sum of resident images of
+        # the processes actually present.
+        for kernel in system.kernels:
+            expected = sum(
+                state.memory.resident_bytes
+                for state in kernel.processes.values()
+            )
+            assert kernel.memory.used_bytes == expected, kernel
+
+        # Forwarding entries only for processes that are still alive
+        # somewhere (dead ones were collected via backward pointers).
+        for kernel in system.kernels:
+            for entry in kernel.forwarding.entries():
+                assert system.is_alive(entry.pid), entry

@@ -1,0 +1,71 @@
+"""Bit-for-bit determinism: identical configurations produce identical
+histories, including under fault injection and migration."""
+
+from repro.net.channel import FaultPlan
+from repro.workloads.file_clients import file_io_client
+from repro.workloads.pingpong import echo_server, pinger
+from repro.workloads.results import ResultsBoard
+from tests.conftest import drain, make_system
+
+
+def run_once(seed: int):
+    board = ResultsBoard()
+    system = make_system(
+        seed=seed,
+        faults=FaultPlan(drop_probability=0.1, max_jitter=1_000),
+    )
+    box = {}
+
+    def server(ctx):
+        box["pid"] = ctx.pid
+        yield from echo_server(ctx)
+
+    system.spawn(server, machine=2, name="echo")
+    system.spawn(
+        lambda ctx: pinger(ctx, rounds=6, gap=3_000, board=board, key="p"),
+        machine=3, name="pinger",
+    )
+    system.spawn(
+        lambda ctx: file_io_client(ctx, tag=1, operations=3, board=board,
+                                   key="io"),
+        machine=0, name="io",
+    )
+    system.loop.call_at(10_000, lambda: system.migrate(box["pid"], 1))
+    drain(system, max_events=10_000_000)
+    # Message serials come from a process-global counter; normalise them
+    # so two runs in one interpreter compare equal.
+    import re
+
+    trace_tail = [
+        re.sub(r"serial=\d+", "serial=*", str(r))
+        for r in system.tracer
+    ][-50:]
+    return {
+        "events": system.loop.events_fired,
+        "final_time": system.loop.now,
+        "network": system.network.stats.snapshot(),
+        "ping": board.get("p"),
+        "io_latencies": board.only("io")["latencies"],
+        "trace_tail": trace_tail,
+    }
+
+
+class TestDeterminism:
+    def test_same_seed_identical_history(self):
+        first = run_once(seed=123)
+        second = run_once(seed=123)
+        assert first == second
+
+    def test_different_seed_different_fault_pattern(self):
+        first = run_once(seed=1)
+        second = run_once(seed=2)
+        # Payload-level results match (correctness is seed-independent)...
+        assert [t["echo"] for t in first["ping"]] == [
+            t["echo"] for t in second["ping"]
+        ]
+        # ...but the fault pattern differs.
+        assert (
+            first["network"]["packets_dropped"]
+            != second["network"]["packets_dropped"]
+            or first["final_time"] != second["final_time"]
+        )

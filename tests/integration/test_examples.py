@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs clean and prints its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "9 admin messages" in out
+        assert "Worker's diary" in out
+
+    def test_fileserver_migration(self):
+        out = run_example("fileserver_migration.py")
+        assert "verdict: OK" in out
+        assert "after 2 migrations" in out
+
+    def test_load_balancing(self):
+        out = run_example("load_balancing.py")
+        assert "makespan speedup from migration" in out
+
+    def test_sinking_ship(self):
+        out = run_example("sinking_ship.py")
+        assert "no round was served by the dead machine" in out
+
+    def test_shell_session(self):
+        out = run_example("shell_session.py")
+        assert "demos$ migrate" in out
+        assert "machine=3" in out
+
+    def test_crash_recovery(self):
+        out = run_example("crash_recovery.py")
+        assert "recovered on machine 3" in out
+        assert "network quiescent: True" in out
+
+    def test_affinity(self):
+        out = run_example("affinity.py")
+        assert "affinity policy migrations" in out
+        assert "busiest pair" in out

@@ -1,0 +1,94 @@
+"""Migration under network faults.
+
+The paper assumes only eventual delivery from the transport; migration
+must therefore survive packet drops, duplicates, and jitter during every
+phase of the protocol.
+"""
+
+from repro.net.channel import FaultPlan
+from repro.workloads.pingpong import echo_server, pinger
+from repro.workloads.results import ResultsBoard
+from tests.conftest import drain, make_bare_system, make_system
+
+
+def parked(ctx):
+    while True:
+        yield ctx.receive()
+
+
+class TestMigrationUnderFaults:
+    def test_migration_completes_despite_drops(self):
+        system = make_bare_system(
+            faults=FaultPlan(drop_probability=0.25), seed=11,
+        )
+        pid = system.spawn(parked, machine=0)
+        ticket = system.migrate(pid, 2)
+        drain(system)
+        assert ticket.success
+        assert system.where_is(pid) == 2
+        assert system.network.stats.retransmissions > 0
+
+    def test_admin_message_count_unaffected_by_retransmits(self):
+        """Retransmissions are a transport matter; the protocol still
+        exchanges exactly nine administrative messages."""
+        system = make_bare_system(
+            faults=FaultPlan(drop_probability=0.3), seed=12,
+        )
+        pid = system.spawn(parked, machine=0)
+        ticket = system.migrate(pid, 1)
+        drain(system)
+        assert ticket.record.admin_message_count == 9
+
+    def test_migration_under_duplication_and_jitter(self):
+        system = make_bare_system(
+            faults=FaultPlan(duplicate_probability=0.3, max_jitter=3_000),
+            seed=13,
+        )
+        pid = system.spawn(parked, machine=0)
+        ticket = system.migrate(pid, 2)
+        drain(system)
+        assert ticket.success
+        assert system.where_is(pid) == 2
+
+    def test_repeated_migrations_under_combined_faults(self):
+        system = make_bare_system(
+            machines=4,
+            faults=FaultPlan(
+                drop_probability=0.15,
+                duplicate_probability=0.15,
+                max_jitter=2_000,
+            ),
+            seed=14,
+        )
+        pid = system.spawn(parked, machine=0)
+        for dest in (1, 2, 3, 0, 2):
+            ticket = system.migrate(pid, dest)
+            drain(system)
+            assert ticket.success, f"failed moving to {dest}"
+        assert system.where_is(pid) == 2
+
+    def test_workload_correct_under_faults_and_migration(self):
+        board = ResultsBoard()
+        system = make_system(
+            faults=FaultPlan(drop_probability=0.1, max_jitter=1_000),
+            seed=15,
+        )
+        server_box = {}
+
+        def server(ctx):
+            server_box["pid"] = ctx.pid
+            yield from echo_server(ctx)
+
+        system.spawn(server, machine=2, name="echo")
+        system.spawn(
+            lambda ctx: pinger(ctx, rounds=8, gap=5_000, board=board,
+                               key="f"),
+            machine=3, name="pinger",
+        )
+        system.loop.call_at(
+            15_000, lambda: system.migrate(server_box["pid"], 0),
+        )
+        drain(system, max_events=5_000_000)
+        transcript = board.only("f-summary")["transcript"]
+        assert [t["round"] for t in transcript] == list(range(8))
+        assert transcript[-1]["server_machine"] == 0

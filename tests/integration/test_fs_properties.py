@@ -1,0 +1,71 @@
+"""Property-based end-to-end test: file-system correctness is invariant
+under arbitrary migration schedules of the file-server front end."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.servers.filesystem import FileClient
+from tests.conftest import drain, make_system
+
+BOUNDED = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=1_000, max_value=120_000),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=3,
+)
+
+write_plans = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2_000),  # offset
+        st.binary(min_size=1, max_size=600),  # data
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestFileSystemInvariance:
+    @BOUNDED
+    @given(schedule=schedules, plan=write_plans)
+    def test_reads_reflect_all_writes_regardless_of_migration(
+        self, schedule, plan,
+    ):
+        system = make_system()
+        fs_pid = system.server_pids["file_system"]
+        outcome = {}
+
+        # The reference picture of the file after all writes, in order.
+        size = max(offset + len(data) for offset, data in plan)
+        reference = bytearray(size)
+        for offset, data in plan:
+            reference[offset:offset + len(data)] = data
+
+        def client(ctx):
+            fs = FileClient(ctx)
+            yield from fs.create("prop")
+            handle = yield from fs.open("prop")
+            for offset, data in plan:
+                yield from fs.write(handle, offset, data)
+                yield ctx.sleep(3_000)
+            outcome["data"] = yield from fs.read(handle, 0, size)
+            yield ctx.exit()
+
+        system.spawn(client, machine=0, name="client")
+        for at, dest in schedule:
+            system.loop.call_at(
+                at,
+                lambda d=dest: (
+                    system.kernel_hosting(fs_pid)
+                    and system.kernel_hosting(fs_pid).migration.start(
+                        fs_pid, d)
+                ),
+            )
+        drain(system, max_events=20_000_000)
+        assert outcome["data"] == bytes(reference)

@@ -1,0 +1,124 @@
+"""Migrating *system* processes — "the worst case" (paper §2.4, §5).
+
+"Moving a system process (or, more precisely, a server process), is more
+difficult, since many processes may have links to it, and such links may
+last a long time, being duplicated and passed to other processes."
+
+These tests migrate the switchboard and the process manager themselves
+while clients are actively using them.
+"""
+
+from repro.servers.common import lookup_service, rpc
+from repro.servers.switchboard import register_service
+from tests.conftest import drain, make_system
+
+
+class TestMigratingSwitchboard:
+    def test_lookups_keep_working_across_switchboard_migration(self):
+        system = make_system()
+        resolved = []
+
+        def provider(ctx):
+            yield from register_service(ctx, "svc")
+            while True:
+                msg = yield ctx.receive()
+                if msg.delivered_link_ids:
+                    yield ctx.send(msg.delivered_link_ids[0], op="hi")
+                    yield ctx.destroy_link(msg.delivered_link_ids[0])
+
+        def make_consumer(tag, delay):
+            def consumer(ctx):
+                yield ctx.sleep(delay)
+                link = yield from lookup_service(ctx, "svc")
+                reply = yield from rpc(ctx, link, "call")
+                resolved.append((tag, reply.op))
+                yield ctx.exit()
+            return consumer
+
+        system.spawn(provider, machine=1, name="provider")
+        # Consumers before, during, and after the migration window.
+        for tag, delay in enumerate((1_000, 20_000, 60_000)):
+            system.spawn(make_consumer(tag, delay), machine=2 + tag % 2,
+                         name=f"consumer-{tag}")
+        switchboard_pid = system.server_pids["switchboard"]
+        system.loop.call_at(
+            15_000, lambda: system.migrate(switchboard_pid, 3),
+        )
+        drain(system)
+        assert sorted(resolved) == [(0, "hi"), (1, "hi"), (2, "hi")]
+        assert system.where_is(switchboard_pid) == 3
+
+    def test_parked_lookup_answered_after_switchboard_moves(self):
+        """A lookup parked inside the switchboard (name not yet
+        registered) travels with it and is answered from the new home."""
+        system = make_system()
+        resolved = []
+
+        def early_consumer(ctx):
+            link = yield from lookup_service(ctx, "late")  # parks
+            reply = yield from rpc(ctx, link, "call")
+            resolved.append(reply.op)
+            yield ctx.exit()
+
+        def late_provider(ctx):
+            yield ctx.sleep(60_000)  # registers after the migration
+            yield from register_service(ctx, "late")
+            msg = yield ctx.receive()
+            yield ctx.send(msg.delivered_link_ids[0], op="finally")
+            yield ctx.exit()
+
+        system.spawn(early_consumer, machine=2, name="consumer")
+        system.spawn(late_provider, machine=1, name="provider")
+        switchboard_pid = system.server_pids["switchboard"]
+        system.loop.call_at(
+            20_000, lambda: system.migrate(switchboard_pid, 3),
+        )
+        drain(system)
+        assert resolved == ["finally"]
+
+
+class TestMigratingProcessManager:
+    def test_pm_keeps_serving_after_migration(self):
+        system = make_system(notify_process_manager=True)
+        replies = []
+
+        def client(ctx):
+            yield ctx.sleep(30_000)  # after the PM has moved
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["process_manager"], "create-process",
+                {"program": "compute", "machine": 1,
+                 "params": {"total": 1_000}},
+            )
+            replies.append(reply.payload)
+            yield ctx.exit()
+
+        pm_pid = system.server_pids["process_manager"]
+        system.spawn(client, machine=2, name="client")
+        system.loop.call_at(5_000, lambda: system.migrate(pm_pid, 2))
+        drain(system)
+        assert replies and replies[0]["ok"]
+        assert system.where_is(pm_pid) == 2
+
+    def test_pm_migration_during_create_request(self):
+        """The PM moves while a create-process request is mid-flight:
+        the request is forwarded, the spawn-reply chases the PM's new
+        location (the kernel answers reply_to at its recorded machine,
+        which forwarding fixes)."""
+        system = make_system(notify_process_manager=True)
+        replies = []
+
+        def client(ctx):
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["process_manager"], "create-process",
+                {"program": "compute", "machine": 3,
+                 "params": {"total": 1_000}},
+            )
+            replies.append(reply.payload)
+            yield ctx.exit()
+
+        pm_pid = system.server_pids["process_manager"]
+        system.spawn(client, machine=3, name="client")
+        # Fire the migration immediately: it races the request.
+        system.migrate(pm_pid, 1)
+        drain(system)
+        assert replies and replies[0]["ok"], replies

@@ -1,0 +1,88 @@
+"""The full §7 vision: decision policies and GC running concurrently."""
+
+from repro.policy.gc import ForwardingSweeper
+from repro.policy.load_balancer import ThresholdLoadBalancer
+from repro.workloads.compute import compute_bound
+from repro.workloads.pingpong import echo_server, pinger
+from repro.workloads.results import ResultsBoard
+from tests.conftest import drain, make_system
+
+
+class TestPoliciesTogether:
+    def test_balancer_and_sweeper_coexist(self):
+        board = ResultsBoard()
+        system = make_system()
+        # Imbalanced compute arrivals on machine 0 + live echo traffic.
+        system.spawn(lambda ctx: echo_server(ctx), machine=2, name="echo")
+        system.spawn(
+            lambda ctx: pinger(ctx, rounds=12, gap=10_000, board=board,
+                               key="ping"),
+            machine=3, name="pinger",
+        )
+        for i in range(6):
+            system.spawn(
+                lambda ctx: compute_bound(ctx, total=60_000, board=board,
+                                          key="compute"),
+                machine=0, name=f"job-{i}",
+            )
+        balancer = ThresholdLoadBalancer(
+            system, interval=8_000, threshold=2, sustain=1,
+            cooldown=40_000,
+        )
+        sweeper = ForwardingSweeper(
+            system, interval=50_000, max_age=150_000,
+        )
+        balancer.install()
+        sweeper.install()
+        system.run(until=800_000)
+        balancer.stop()
+        sweeper.stop()
+        drain(system, max_events=50_000_000)
+
+        # Work got spread and finished.
+        assert balancer.stats.migrations_succeeded >= 2
+        assert len(board.get("compute")) == 6
+        # Echo traffic unharmed by all the churn.
+        transcript = board.only("ping-summary")["transcript"]
+        assert [t["round"] for t in transcript] == list(range(12))
+        # The sweeper eventually reclaimed the migration residue for
+        # processes that have exited (death-GC) or aged out.
+        assert sweeper.stats.sweeps >= 3
+        # No forwarding entry survives for a dead process.
+        for kernel in system.kernels:
+            for entry in kernel.forwarding.entries():
+                assert system.is_alive(entry.pid)
+
+    def test_balanced_compute_results_identical_to_static(self):
+        """Policies change *where and when* work runs, never its output."""
+
+        def run(balanced):
+            board = ResultsBoard()
+            system = make_system()
+            for i in range(4):
+                system.spawn(
+                    lambda ctx, t=i: compute_bound(
+                        ctx, total=40_000, board=board, key="c",
+                    ),
+                    machine=0, name=f"job-{i}",
+                )
+            balancer = None
+            if balanced:
+                balancer = ThresholdLoadBalancer(
+                    system, interval=8_000, threshold=2, sustain=1,
+                )
+                balancer.install()
+            system.run(until=600_000)
+            if balancer:
+                balancer.stop()
+            drain(system, max_events=50_000_000)
+            records = board.get("c")
+            return sorted(
+                (str(r["pid"]), r["elapsed"] >= 40_000) for r in records
+            )
+
+        static = run(False)
+        balanced = run(True)
+        assert [p for p, _ in static] == [p for p, _ in balanced]
+        assert all(done for _, done in static)
+        assert all(done for _, done in balanced)

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the paper's invariants.
+
+- eventual delivery: every message to a live process arrives exactly once,
+  under any migration schedule and channel fault mix;
+- transparency: a client's observable transcript is independent of the
+  migration schedule;
+- identity: pids never change; only location hints do;
+- convergence: a repeatedly-used stale link is eventually patched and
+  forwarding stops.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.ids import ProcessAddress
+from repro.kernel.messages import MessageKind
+from repro.net.channel import FaultPlan
+from repro.workloads.pingpong import echo_server, pinger
+from repro.workloads.results import ResultsBoard
+from tests.conftest import drain, make_bare_system, make_system
+
+BOUNDED = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+machine_ids = st.integers(min_value=0, max_value=3)
+
+migration_schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=1_000, max_value=60_000),  # when
+        machine_ids,  # where
+    ),
+    max_size=4,
+)
+
+fault_plans = st.builds(
+    FaultPlan,
+    drop_probability=st.sampled_from([0.0, 0.1, 0.25]),
+    duplicate_probability=st.sampled_from([0.0, 0.1]),
+    max_jitter=st.sampled_from([0, 1_000]),
+)
+
+
+class TestEventualDelivery:
+    @BOUNDED
+    @given(schedule=migration_schedules, faults=fault_plans,
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_every_message_delivered_exactly_once(self, schedule, faults, seed):
+        system = make_bare_system(machines=4, faults=faults, seed=seed)
+        received = []
+        total = 10
+
+        def receiver(ctx):
+            for _ in range(total):
+                msg = yield ctx.receive()
+                received.append(msg.payload)
+            while True:
+                yield ctx.receive()
+
+        pid = system.spawn(receiver, machine=0, name="sink")
+        for at, dest in schedule:
+            system.loop.call_at(
+                at, lambda d=dest: system.kernel_hosting(pid)
+                and system.kernel_hosting(pid).migration.start(pid, d),
+            )
+        # Sends from every machine, always with the stale original address.
+        for i in range(total):
+            sender_machine = 1 + i % 3
+            system.loop.call_at(
+                2_000 * i,
+                lambda i=i, m=sender_machine: system.kernel(m).send_to_process(
+                    ProcessAddress(pid, 0), "n", i, kind=MessageKind.USER,
+                ),
+            )
+        drain(system, max_events=5_000_000)
+        assert sorted(received) == list(range(total))
+
+
+class TestTransparency:
+    @BOUNDED
+    @given(schedule=migration_schedules)
+    def test_transcript_independent_of_migration_schedule(self, schedule):
+        def run(migrations):
+            board = ResultsBoard()
+            system = make_system()
+            box = {}
+
+            def server(ctx):
+                box["pid"] = ctx.pid
+                yield from echo_server(ctx)
+
+            system.spawn(server, machine=2, name="echo")
+            system.spawn(
+                lambda ctx: pinger(ctx, rounds=8, gap=4_000,
+                                   board=board, key="pt"),
+                machine=3, name="pinger",
+            )
+            for at, dest in migrations:
+                system.loop.call_at(
+                    at, lambda d=dest: system.kernel_hosting(box["pid"])
+                    and system.kernel_hosting(box["pid"]).migration.start(
+                        box["pid"], d),
+                )
+            drain(system, max_events=5_000_000)
+            return [t["echo"] for t in board.only("pt-summary")["transcript"]]
+
+        assert run(schedule) == run([])
+
+
+class TestIdentityAndConvergence:
+    @BOUNDED
+    @given(destinations=st.lists(machine_ids, min_size=1, max_size=5))
+    def test_pid_and_history_invariants(self, destinations):
+        system = make_bare_system(machines=4)
+
+        def parked(ctx):
+            while True:
+                yield ctx.receive()
+
+        pid = system.spawn(parked, machine=0, name="nomad")
+        expected_history = [0]
+        for dest in destinations:
+            current = system.where_is(pid)
+            system.kernel(current).migration.start(pid, dest)
+            drain(system)
+            if dest != current:
+                expected_history.append(dest)
+        state = system.process_state(pid)
+        assert state.pid == pid  # identity never changes
+        assert state.residence_history == expected_history
+        assert system.where_is(pid) == expected_history[-1]
+
+    @BOUNDED
+    @given(hops=st.lists(st.sampled_from([1, 2, 3]), min_size=1, max_size=4),
+           probes=st.integers(min_value=3, max_value=8))
+    def test_forwarding_stops_once_links_converge(self, hops, probes):
+        """After migrations settle, a sender using its (patched) link
+        repeatedly triggers at most a bounded number of forwards."""
+        system = make_bare_system(machines=4)
+        done = []
+
+        def server(ctx):
+            while True:
+                msg = yield ctx.receive()
+                if msg.delivered_link_ids:
+                    reply = msg.delivered_link_ids[0]
+                    yield ctx.send(reply, op="r")
+                    yield ctx.destroy_link(reply)
+
+        def client(ctx):
+            for _ in range(probes):
+                reply_link = yield ctx.create_link()
+                yield ctx.send(ctx.bootstrap["server"], op="q",
+                              links=(reply_link,))
+                yield ctx.receive()
+                yield ctx.destroy_link(reply_link)
+            done.append(True)
+            yield ctx.exit()
+
+        server_pid = system.spawn(server, machine=0, name="server")
+        for dest in hops:
+            current = system.where_is(server_pid)
+            system.kernel(current).migration.start(server_pid, dest)
+            drain(system)
+        final = system.where_is(server_pid)
+        system.kernel((final + 1) % 4).spawn(
+            client, name="client",
+            extra_links={"server": ProcessAddress(server_pid, 0)},
+        )
+        drain(system, max_events=5_000_000)
+        assert done == [True]
+        # The client's stale link is fixed after its first use: total
+        # forwards are bounded by the chain length, not by probe count.
+        total_forwards = sum(
+            k.forwarding.total_forwards for k in system.kernels
+        )
+        assert total_forwards <= len(hops) + 1
+        assert total_forwards < probes or probes <= len(hops) + 1

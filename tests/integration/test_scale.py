@@ -1,0 +1,72 @@
+"""Scale check: a bigger park than the paper's lab (16 machines)."""
+
+from repro.policy.load_balancer import ThresholdLoadBalancer
+from repro.workloads.compute import compute_bound
+from repro.workloads.results import ResultsBoard
+from tests.conftest import drain, make_bare_system
+
+
+class TestScale:
+    def test_sixteen_machines_sixty_processes(self):
+        board = ResultsBoard()
+        system = make_bare_system(machines=16)
+        for i in range(60):
+            system.spawn(
+                lambda ctx: compute_bound(ctx, total=20_000, board=board,
+                                          key="c"),
+                machine=i % 4,  # only the first four machines get work
+            )
+        balancer = ThresholdLoadBalancer(
+            system, interval=10_000, threshold=2, sustain=1,
+            cooldown=30_000,
+        )
+        balancer.install()
+        system.run(until=1_500_000)
+        balancer.stop()
+        drain(system, max_events=50_000_000)
+        records = board.get("c")
+        assert len(records) == 60
+        assert balancer.stats.migrations_succeeded >= 5
+        # Work spread beyond the original four machines.
+        finished_on = {r["machines"][-1] for r in records}
+        assert len(finished_on) > 4
+
+    def test_fifty_sequential_migrations_of_one_process(self):
+        system = make_bare_system(machines=8)
+
+        def parked(ctx):
+            while True:
+                yield ctx.receive()
+
+        pid = system.spawn(parked, machine=0)
+        for i in range(50):
+            dest = (i + 1) % 8
+            current = system.where_is(pid)
+            if dest == current:
+                dest = (dest + 1) % 8
+            system.kernel(current).migration.start(pid, dest)
+            drain(system)
+        state = system.process_state(pid)
+        assert state is not None
+        assert state.accounting.migrations == 50
+        # Forwarding entries: one per machine at most (reinstalls
+        # overwrite), and the process's current home holds none.
+        here = system.where_is(pid)
+        assert system.kernel(here).forwarding.lookup(pid) is None
+        assert system.total_forwarding_entries() <= 7
+        # A maximally stale probe still lands (bounded chain).
+        from repro.kernel.ids import ProcessAddress
+        from repro.kernel.messages import MessageKind
+
+        got = []
+
+        def check():
+            state.message_queue.clear()
+
+        origin = pid.creating_machine
+        system.kernel(origin).send_to_process(
+            ProcessAddress(pid, origin), "probe", {},
+            kind=MessageKind.USER,
+        )
+        drain(system)
+        assert state.accounting.messages_received >= 1

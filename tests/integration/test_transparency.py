@@ -1,0 +1,157 @@
+"""End-to-end transparency: the paper's central claim.
+
+"Ideally, all processes continue execution with no apparent changes in
+their computation or communications."  These tests run full workloads
+across aggressive migration schedules and assert the *observable results
+are identical to an unmigrated run*.
+"""
+
+from repro.servers.filesystem import FileClient
+from repro.workloads.file_clients import file_io_client
+from repro.workloads.pingpong import echo_server, pinger
+from tests.conftest import drain, make_system
+
+
+class TestEchoTransparency:
+    def run_echo(self, migrations, rounds=12):
+        """Run pinger vs echo server under a migration schedule; return
+        the pinger's transcript of echoed payloads."""
+        from repro.workloads.results import ResultsBoard
+
+        board = ResultsBoard()
+        system = make_system()
+        server_pid_box = {}
+
+        def server(ctx):
+            server_pid_box["pid"] = ctx.pid
+            yield from echo_server(ctx)
+
+        system.spawn(server, machine=2, name="echo")
+        system.spawn(
+            lambda ctx: pinger(ctx, rounds=rounds, gap=3_000,
+                               board=board, key="t"),
+            machine=3, name="pinger",
+        )
+        for at, dest in migrations:
+            system.loop.call_at(
+                at, lambda d=dest: system.migrate(server_pid_box["pid"], d),
+            )
+        drain(system)
+        return board.only("t-summary")["transcript"]
+
+    def test_client_sees_identical_payloads_with_and_without_migration(self):
+        still = self.run_echo(migrations=[])
+        moved = self.run_echo(migrations=[(5_000, 0), (20_000, 1),
+                                          (35_000, 3)])
+        assert [t["echo"] for t in still] == [t["echo"] for t in moved]
+        assert len(moved) == 12
+
+    def test_no_round_is_lost_or_duplicated(self):
+        transcript = self.run_echo(
+            migrations=[(4_000, 1), (12_000, 0), (22_000, 3)],
+        )
+        assert [t["round"] for t in transcript] == list(range(12))
+
+    def test_client_observes_server_moving(self):
+        transcript = self.run_echo(migrations=[(5_000, 0)])
+        machines = {t["server_machine"] for t in transcript}
+        assert machines == {2, 0}
+
+
+class TestFileServerMigration:
+    """The paper's own test example (§2.3): "It migrates a file system
+    process while several user processes are performing I/O." """
+
+    def run_io(self, migrations, clients=3, operations=6):
+        from repro.workloads.results import ResultsBoard
+
+        board = ResultsBoard()
+        system = make_system()
+        fs_pid = system.server_pids["file_system"]
+        for tag in range(clients):
+            system.spawn(
+                lambda ctx, t=tag: file_io_client(
+                    ctx, tag=t, operations=operations, gap=1_000,
+                    board=board, key="io",
+                ),
+                machine=tag % 4, name=f"client-{tag}",
+            )
+        for at, dest in migrations:
+            system.loop.call_at(
+                at, lambda d=dest: system.migrate(fs_pid, d),
+            )
+        drain(system, max_events=5_000_000)
+        return board.get("io"), system
+
+    def test_no_errors_without_migration(self):
+        results, _ = self.run_io(migrations=[])
+        assert len(results) == 3
+        assert all(r["errors"] == [] for r in results)
+
+    def test_no_errors_with_migration_mid_io(self):
+        results, system = self.run_io(
+            migrations=[(20_000, 3), (120_000, 0)],
+        )
+        assert len(results) == 3
+        for result in results:
+            assert result["errors"] == [], result
+            assert len(result["latencies"]) == 6
+        # The file server really moved.
+        assert system.where_is(system.server_pids["file_system"]) == 0
+
+    def test_every_operation_completed(self):
+        results, _ = self.run_io(migrations=[(30_000, 2)], clients=4,
+                                 operations=5)
+        assert sorted(r["tag"] for r in results) == [0, 1, 2, 3]
+        assert all(r["operations"] == 5 for r in results)
+
+    def test_file_contents_survive_entire_fs_relocation(self):
+        """Write before migration, read after: data written through the
+        old location must be readable through the new one."""
+        system = make_system()
+        fs_pid = system.server_pids["file_system"]
+        outcome = {}
+
+        def writer_then_reader(ctx):
+            fs = FileClient(ctx)
+            yield from fs.create("persist")
+            handle = yield from fs.open("persist")
+            yield from fs.write(handle, 0, b"before-migration")
+            yield ctx.sleep(50_000)  # migration happens in this window
+            data = yield from fs.read(handle, 0, 16)
+            outcome["data"] = data
+            outcome["fs_machine"] = None
+            yield ctx.exit()
+
+        system.spawn(writer_then_reader, machine=0, name="wtr")
+        system.loop.call_at(30_000, lambda: system.migrate(fs_pid, 2))
+        drain(system)
+        assert outcome["data"] == b"before-migration"
+        assert system.where_is(fs_pid) == 2
+
+
+class TestMovingBothEnds:
+    def test_client_and_server_both_migrate(self):
+        from repro.workloads.results import ResultsBoard
+
+        board = ResultsBoard()
+        system = make_system()
+        pids = {}
+
+        def server(ctx):
+            pids["server"] = ctx.pid
+            yield from echo_server(ctx)
+
+        def client(ctx):
+            pids["client"] = ctx.pid
+            yield from pinger(ctx, rounds=10, gap=4_000, board=board,
+                              key="both")
+
+        system.spawn(server, machine=0, name="echo")
+        system.spawn(client, machine=1, name="pinger")
+        system.loop.call_at(8_000, lambda: system.migrate(pids["server"], 2))
+        system.loop.call_at(16_000, lambda: system.migrate(pids["client"], 3))
+        system.loop.call_at(24_000, lambda: system.migrate(pids["server"], 1))
+        drain(system)
+        transcript = board.only("both-summary")["transcript"]
+        assert [t["round"] for t in transcript] == list(range(10))

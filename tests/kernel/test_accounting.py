@@ -1,0 +1,93 @@
+"""Tests for per-process resource accounting — the §3.1 raw material:
+"The migration scheme depends on the ability to evaluate the resource
+use patterns of processes.  This function is normally available in the
+accounting or performance monitoring part of the system." """
+
+from repro.kernel.ids import ProcessAddress
+from tests.conftest import drain, make_bare_system
+
+
+class TestAccounting:
+    def test_cpu_time_tracks_compute(self):
+        system = make_bare_system()
+
+        def job(ctx):
+            yield ctx.compute(7_000)
+            yield ctx.receive()  # park
+
+        pid = system.spawn(job, machine=0)
+        drain(system)
+        accounting = system.process_state(pid).accounting
+        # Compute time plus a few syscall costs.
+        assert 7_000 <= accounting.cpu_time <= 7_200
+
+    def test_message_counters_both_directions(self):
+        system = make_bare_system()
+
+        def server(ctx):
+            for _ in range(3):
+                msg = yield ctx.receive()
+                yield ctx.send(msg.delivered_link_ids[0], op="r")
+            yield ctx.receive()  # park for inspection
+
+        def client(ctx):
+            for _ in range(3):
+                reply_link = yield ctx.create_link()
+                yield ctx.send(ctx.bootstrap["server"], op="q",
+                              payload_bytes=100, links=(reply_link,))
+                yield ctx.receive()
+                yield ctx.destroy_link(reply_link)
+            yield ctx.receive()  # park for inspection
+
+        server_pid = system.spawn(server, machine=0)
+        client_pid = system.kernel(1).spawn(
+            client, name="client",
+            extra_links={"server": ProcessAddress(server_pid, 0)},
+        )
+        drain(system)
+        server_acct = system.process_state(server_pid).accounting
+        client_acct = system.process_state(client_pid).accounting
+        assert server_acct.messages_received == 3
+        assert server_acct.messages_sent == 3
+        assert client_acct.messages_sent == 3
+        assert client_acct.messages_received == 3
+        # Bytes include headers + declared payloads + enclosed links.
+        assert client_acct.bytes_sent > 3 * 100
+        assert server_acct.bytes_received == client_acct.bytes_sent
+
+    def test_forwarded_to_me_counter(self):
+        system = make_bare_system()
+
+        def receiver(ctx):
+            while True:
+                yield ctx.receive()
+
+        pid = system.spawn(receiver, machine=0)
+        system.migrate(pid, 1)
+        drain(system)
+        from repro.kernel.messages import MessageKind
+
+        for _ in range(3):
+            system.kernel(2).send_to_process(
+                ProcessAddress(pid, 0), "stale", {},
+                kind=MessageKind.USER,
+            )
+            drain(system)
+        accounting = system.process_state(pid).accounting
+        assert accounting.forwarded_to_me >= 1
+        assert accounting.messages_received == 3
+
+    def test_migrations_counter_and_history_agree(self):
+        system = make_bare_system()
+
+        def parked(ctx):
+            while True:
+                yield ctx.receive()
+
+        pid = system.spawn(parked, machine=0)
+        for dest in (1, 2, 0):
+            system.migrate(pid, dest)
+            drain(system)
+        state = system.process_state(pid)
+        assert state.accounting.migrations == 3
+        assert len(state.residence_history) == 4

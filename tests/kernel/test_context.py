@@ -1,0 +1,120 @@
+"""Tests for the ProcessContext syscall sugar and introspection."""
+
+from repro.kernel.context import ProcessContext
+from repro.kernel.links import DataArea, LinkAttribute
+from repro.kernel.syscalls import (
+    Compute,
+    CreateLink,
+    DestroyLink,
+    DupLink,
+    Exit,
+    GetInfo,
+    MoveData,
+    Receive,
+    RequestMigration,
+    Send,
+    Sleep,
+    Yield,
+)
+from tests.conftest import drain, make_bare_system
+
+
+class _FakeKernel:
+    machine = 3
+
+    class loop:  # noqa: N801 - minimal stub
+        now = 1234
+
+
+def make_ctx():
+    from repro.kernel.ids import ProcessId
+
+    return ProcessContext(_FakeKernel(), ProcessId(3, 1))
+
+
+class TestSugar:
+    def test_send_defaults(self):
+        call = make_ctx().send(5)
+        assert call == Send(5, "msg", None, 32, (), False)
+
+    def test_send_full(self):
+        call = make_ctx().send(5, op="x", payload=1, payload_bytes=9,
+                               links=(1, 2), deliver_to_kernel=True)
+        assert isinstance(call, Send)
+        assert call.links == (1, 2) and call.deliver_to_kernel
+
+    def test_receive(self):
+        assert make_ctx().receive() == Receive(None)
+        assert make_ctx().receive(timeout=7) == Receive(7)
+
+    def test_create_link(self):
+        area = DataArea(0, 10)
+        call = make_ctx().create_link(LinkAttribute.DATA_READ, area)
+        assert call == CreateLink(LinkAttribute.DATA_READ, area)
+
+    def test_link_ops(self):
+        assert make_ctx().dup_link(3) == DupLink(3)
+        assert make_ctx().destroy_link(3) == DestroyLink(3)
+
+    def test_timing_ops(self):
+        assert make_ctx().compute(10) == Compute(10)
+        assert make_ctx().sleep(10) == Sleep(10)
+        assert isinstance(make_ctx().yield_cpu(), Yield)
+
+    def test_move_data(self):
+        call = make_ctx().move_data(2, "read", 0, 100)
+        assert call == MoveData(2, "read", 0, 100)
+
+    def test_lifecycle_ops(self):
+        assert make_ctx().exit(3) == Exit(3)
+        assert isinstance(make_ctx().get_info(), GetInfo)
+        assert make_ctx().request_migration(2) == RequestMigration(2)
+
+    def test_introspection(self):
+        ctx = make_ctx()
+        assert ctx.machine == 3
+        assert ctx.now == 1234
+        assert "machine 3" in repr(ctx)
+
+
+class TestRebinding:
+    def test_context_machine_follows_migration(self):
+        system = make_bare_system()
+        seen = []
+
+        def watcher(ctx):
+            seen.append(ctx.machine)
+            yield ctx.sleep(20_000)
+            seen.append(ctx.machine)
+            yield ctx.exit()
+
+        pid = system.spawn(watcher, machine=0)
+        system.loop.call_at(5_000, lambda: system.migrate(pid, 2))
+        drain(system)
+        assert seen == [0, 2]
+
+    def test_bootstrap_links_usable_after_migration(self):
+        system = make_bare_system()
+        log = []
+
+        def sink(ctx):
+            msg = yield ctx.receive()
+            log.append(msg.op)
+            yield ctx.exit()
+
+        from repro.kernel.ids import ProcessAddress
+
+        sink_pid = system.spawn(sink, machine=0, name="sink")
+
+        def traveller(ctx):
+            yield ctx.request_migration(2)
+            yield ctx.compute(100)  # let the move complete
+            yield ctx.send(ctx.bootstrap["sink"], op="from-afar")
+            yield ctx.exit()
+
+        system.kernel(1).spawn(
+            traveller, name="traveller",
+            extra_links={"sink": ProcessAddress(sink_pid, 0)},
+        )
+        drain(system)
+        assert log == ["from-afar"]

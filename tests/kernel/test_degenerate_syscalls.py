@@ -1,0 +1,109 @@
+"""Degenerate syscall arguments: zeros and empty things must be sane."""
+
+from tests.conftest import drain, make_bare_system
+
+
+class TestDegenerateArguments:
+    def test_compute_zero_completes_immediately(self):
+        system = make_bare_system()
+        done = {}
+
+        def program(ctx):
+            yield ctx.compute(0)
+            done["at"] = ctx.now
+            yield ctx.exit()
+
+        system.spawn(program, machine=0)
+        drain(system)
+        assert done["at"] < 1_000
+
+    def test_sleep_zero(self):
+        system = make_bare_system()
+        done = {}
+
+        def program(ctx):
+            yield ctx.sleep(0)
+            done["at"] = ctx.now
+            yield ctx.exit()
+
+        system.spawn(program, machine=0)
+        drain(system)
+        assert done["at"] < 1_000
+
+    def test_receive_timeout_zero_polls(self):
+        system = make_bare_system()
+        result = {"msg": "unset"}
+
+        def program(ctx):
+            msg = yield ctx.receive(timeout=0)
+            result["msg"] = msg
+            yield ctx.exit()
+
+        system.spawn(program, machine=0)
+        drain(system)
+        assert result["msg"] is None
+
+    def test_send_with_no_links_or_payload(self):
+        system = make_bare_system()
+        got = []
+
+        def receiver(ctx):
+            msg = yield ctx.receive()
+            got.append((msg.payload, msg.links))
+            yield ctx.exit()
+
+        from repro.kernel.ids import ProcessAddress
+
+        receiver_pid = system.spawn(receiver, machine=0)
+
+        def sender(ctx):
+            yield ctx.send(ctx.bootstrap["peer"])
+            yield ctx.exit()
+
+        system.kernel(1).spawn(
+            sender, extra_links={"peer": ProcessAddress(receiver_pid, 0)},
+        )
+        drain(system)
+        assert got == [(None, ())]
+
+    def test_move_data_zero_length(self):
+        from repro.kernel.links import DataArea, LinkAttribute
+        from repro.kernel.ids import ProcessAddress
+
+        system = make_bare_system()
+        done = {}
+
+        def owner(ctx):
+            link = yield ctx.create_link(
+                LinkAttribute.DATA_READ, DataArea(0, 100),
+            )
+            yield ctx.send(ctx.bootstrap["holder"], op="a", links=(link,))
+            while True:
+                yield ctx.receive()
+
+        def holder(ctx):
+            msg = yield ctx.receive()
+            moved = yield ctx.move_data(
+                msg.delivered_link_ids[0], "read", 0, 0,
+            )
+            done["moved"] = moved
+            yield ctx.exit()
+
+        holder_pid = system.kernel(1).spawn(holder, name="holder")
+        system.kernel(0).spawn(
+            owner, name="owner",
+            extra_links={"holder": ProcessAddress(holder_pid, 1)},
+        )
+        drain(system)
+        assert done["moved"] == 0
+
+    def test_exit_code_zero_default(self):
+        system = make_bare_system()
+
+        def program(ctx):
+            yield ctx.exit()
+
+        system.spawn(program, machine=0)
+        drain(system)
+        (record,) = system.tracer.records("kernel", "exit")
+        assert record.fields["code"] == 0

@@ -1,0 +1,242 @@
+"""Tests for message delivery: local/remote, enclosed links,
+DELIVERTOKERNEL control, and undeliverable handling."""
+
+from repro.kernel.ids import ProcessAddress
+from repro.kernel.ops import OP_STOP_PROCESS, OP_START_PROCESS, OP_UNDELIVERABLE
+from repro.kernel.process_state import ProcessStatus
+from tests.conftest import drain, make_bare_system
+
+
+def spawn_with_peer(system, program, machine, peer_pid, peer_machine, name=""):
+    """Spawn *program* with a bootstrap link 'peer' to another process."""
+    return system.kernel(machine).spawn(
+        program, name=name,
+        extra_links={"peer": ProcessAddress(peer_pid, peer_machine)},
+    )
+
+
+class TestBasicDelivery:
+    def test_remote_request_reply(self):
+        system = make_bare_system()
+        log = []
+
+        def server(ctx):
+            msg = yield ctx.receive()
+            log.append(("got", msg.op, msg.payload))
+            yield ctx.send(msg.delivered_link_ids[0], op="reply",
+                          payload=msg.payload * 2)
+            yield ctx.exit()
+
+        def client(ctx):
+            reply_link = yield ctx.create_link()
+            yield ctx.send(ctx.bootstrap["peer"], op="req", payload=21,
+                          links=(reply_link,))
+            msg = yield ctx.receive()
+            log.append(("reply", msg.payload))
+            yield ctx.exit()
+
+        server_pid = system.spawn(server, machine=0, name="server")
+        spawn_with_peer(system, client, 1, server_pid, 0, name="client")
+        drain(system)
+        assert ("got", "req", 21) in log
+        assert ("reply", 42) in log
+
+    def test_local_delivery_never_uses_network(self):
+        system = make_bare_system()
+
+        def server(ctx):
+            yield ctx.receive()
+            yield ctx.exit()
+
+        def client(ctx):
+            yield ctx.send(ctx.bootstrap["peer"], op="local")
+            yield ctx.exit()
+
+        server_pid = system.spawn(server, machine=0)
+        spawn_with_peer(system, client, 0, server_pid, 0)
+        before = system.network.stats.packets_sent
+        drain(system)
+        assert system.network.stats.packets_sent == before
+
+    def test_messages_queue_in_fifo_order(self):
+        system = make_bare_system()
+        received = []
+
+        def server(ctx):
+            for _ in range(5):
+                msg = yield ctx.receive()
+                received.append(msg.payload)
+            yield ctx.exit()
+
+        def client(ctx):
+            for i in range(5):
+                yield ctx.send(ctx.bootstrap["peer"], op="n", payload=i)
+            yield ctx.exit()
+
+        server_pid = system.spawn(server, machine=0)
+        spawn_with_peer(system, client, 1, server_pid, 0)
+        drain(system)
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_enclosed_links_materialise_at_receive(self):
+        system = make_bare_system()
+        observed = {}
+
+        def server(ctx):
+            msg = yield ctx.receive()
+            observed["ids"] = msg.delivered_link_ids
+            info = yield ctx.get_info()
+            observed["count"] = info["link_count"]
+            yield ctx.exit()
+
+        def client(ctx):
+            a = yield ctx.create_link()
+            b = yield ctx.create_link()
+            yield ctx.send(ctx.bootstrap["peer"], op="two-links",
+                          links=(a, b))
+            yield ctx.exit()
+
+        server_pid = system.spawn(server, machine=0)
+        spawn_with_peer(system, client, 1, server_pid, 0)
+        drain(system)
+        assert len(observed["ids"]) == 2
+        assert observed["count"] == 2
+
+    def test_passed_link_still_points_to_originator(self):
+        """Context independence: A mints a link, sends it to B, B passes
+        it to C, and C's message still reaches A."""
+        system = make_bare_system()
+        log = []
+
+        def origin(ctx):  # A
+            msg = yield ctx.receive()
+            log.append(("A-got", msg.op, msg.sender.pid))
+            yield ctx.exit()
+
+        def middle(ctx):  # B: receives a link to A, forwards it to C
+            msg = yield ctx.receive()
+            link_to_a = msg.delivered_link_ids[0]
+            yield ctx.send(ctx.bootstrap["peer"], op="pass",
+                          links=(link_to_a,))
+            yield ctx.exit()
+
+        def last(ctx):  # C: uses the twice-passed link
+            msg = yield ctx.receive()
+            yield ctx.send(msg.delivered_link_ids[0], op="hello-A")
+            yield ctx.exit()
+
+        a_pid = system.spawn(origin, machine=0, name="A")
+        c_pid = system.spawn(last, machine=2, name="C")
+        b_pid = spawn_with_peer(system, middle, 1, c_pid, 2, name="B")
+
+        # Seed B with a link to A.
+        def seeder(ctx):
+            yield ctx.send(ctx.bootstrap["peer"], op="seed",
+                          links=(ctx.bootstrap["to_a"],))
+            yield ctx.exit()
+
+        system.kernel(1).spawn(
+            seeder, name="seeder",
+            extra_links={
+                "peer": ProcessAddress(b_pid, 1),
+                "to_a": ProcessAddress(a_pid, 0),
+            },
+        )
+        drain(system)
+        assert log == [("A-got", "hello-A", c_pid)]
+
+
+class TestDeliverToKernel:
+    def test_stop_and_start_via_d2k(self):
+        system = make_bare_system()
+        progress = []
+
+        def victim(ctx):
+            while True:
+                yield ctx.compute(1_000)
+                progress.append(ctx.now)
+
+        victim_pid = system.spawn(victim, machine=0)
+        kernel = system.kernel(1)
+        kernel.send_to_process(
+            ProcessAddress(victim_pid, 0), OP_STOP_PROCESS, {},
+            deliver_to_kernel=True,
+        )
+        system.run(until=20_000)
+        state = system.process_state(victim_pid)
+        assert state.status is ProcessStatus.SUSPENDED
+        stopped_at = len(progress)
+
+        kernel.send_to_process(
+            ProcessAddress(victim_pid, 0), OP_START_PROCESS, {},
+            deliver_to_kernel=True,
+        )
+        system.run(until=40_000)
+        assert len(progress) > stopped_at
+
+    def test_stop_while_waiting_restores_wait(self):
+        system = make_bare_system()
+        got = []
+
+        def waiter(ctx):
+            msg = yield ctx.receive()
+            got.append(msg.op)
+            yield ctx.exit()
+
+        waiter_pid = system.spawn(waiter, machine=0)
+        kernel = system.kernel(1)
+        addr = ProcessAddress(waiter_pid, 0)
+        kernel.send_to_process(addr, OP_STOP_PROCESS, {},
+                               deliver_to_kernel=True)
+        system.run(until=5_000)
+        assert system.process_state(waiter_pid).status is ProcessStatus.SUSPENDED
+        kernel.send_to_process(addr, OP_START_PROCESS, {},
+                               deliver_to_kernel=True)
+        system.run(until=10_000)
+        assert system.process_state(waiter_pid).status is ProcessStatus.WAITING_MESSAGE
+        # A message still wakes it normally afterwards.
+        kernel.send_to_process(addr, "poke", {}, kind=__import__(
+            "repro.kernel.messages", fromlist=["MessageKind"]
+        ).MessageKind.USER)
+        drain(system)
+        assert got == ["poke"]
+
+
+class TestUndeliverable:
+    def test_message_to_dead_process_notifies_sender(self):
+        system = make_bare_system()
+        notices = []
+
+        def shortlived(ctx):
+            yield ctx.exit()
+
+        def client(ctx):
+            yield ctx.sleep(5_000)  # let the peer die first
+            yield ctx.send(ctx.bootstrap["peer"], op="too-late")
+            msg = yield ctx.receive(timeout=50_000)
+            notices.append(msg.op if msg else None)
+            yield ctx.exit()
+
+        dead_pid = system.spawn(shortlived, machine=0)
+        spawn_with_peer(system, client, 1, dead_pid, 0)
+        drain(system)
+        assert notices == [OP_UNDELIVERABLE]
+
+    def test_message_to_never_existing_process_notifies_sender(self):
+        from repro.kernel.ids import ProcessId
+
+        system = make_bare_system()
+        notices = []
+
+        def client(ctx):
+            yield ctx.send(ctx.bootstrap["peer"], op="ghost")
+            msg = yield ctx.receive(timeout=50_000)
+            notices.append(msg.op if msg else None)
+            yield ctx.exit()
+
+        system.kernel(1).spawn(
+            client,
+            extra_links={"peer": ProcessAddress(ProcessId(0, 999), 0)},
+        )
+        drain(system)
+        assert notices == [OP_UNDELIVERABLE]

@@ -1,0 +1,153 @@
+"""Tests for forwarding addresses (paper §4, Figure 4-1)."""
+
+from repro.kernel.forwarding import FORWARDING_ADDRESS_BYTES, ForwardingTable
+from repro.kernel.ids import ProcessAddress, ProcessId
+from repro.kernel.messages import MessageKind
+from repro.kernel.process_state import ProcessStatus
+from tests.conftest import drain, make_bare_system
+
+
+def parked(ctx):
+    while True:
+        yield ctx.receive()
+
+
+class TestForwardingTable:
+    def test_install_and_lookup(self):
+        table = ForwardingTable()
+        pid = ProcessId(0, 1)
+        table.install(pid, 3, now=100)
+        entry = table.lookup(pid)
+        assert entry.machine == 3
+        assert entry.created_at == 100
+
+    def test_forward_target_counts(self):
+        table = ForwardingTable()
+        pid = ProcessId(0, 1)
+        table.install(pid, 3, now=0)
+        assert table.forward_target(pid) == 3
+        assert table.forward_target(pid) == 3
+        assert table.lookup(pid).forwards == 2
+        assert table.total_forwards == 2
+
+    def test_unknown_pid_is_none(self):
+        table = ForwardingTable()
+        assert table.forward_target(ProcessId(9, 9)) is None
+
+    def test_reinstall_replaces(self):
+        table = ForwardingTable()
+        pid = ProcessId(0, 1)
+        table.install(pid, 3, now=0)
+        table.install(pid, 5, now=10)
+        assert table.lookup(pid).machine == 5
+        assert len(table) == 1
+
+    def test_collect(self):
+        table = ForwardingTable()
+        pid = ProcessId(0, 1)
+        table.install(pid, 3, now=0)
+        assert table.collect(pid)
+        assert not table.collect(pid)  # idempotent
+        assert table.collected == 1
+
+    def test_storage_is_8_bytes_per_entry(self):
+        table = ForwardingTable()
+        assert FORWARDING_ADDRESS_BYTES == 8
+        table.install(ProcessId(0, 1), 1, now=0)
+        table.install(ProcessId(0, 2), 2, now=0)
+        assert table.storage_bytes == 16
+
+    def test_entries_sorted(self):
+        table = ForwardingTable()
+        table.install(ProcessId(0, 2), 1, now=0)
+        table.install(ProcessId(0, 1), 1, now=0)
+        pids = [e.pid for e in table.entries()]
+        assert pids == [ProcessId(0, 1), ProcessId(0, 2)]
+
+
+class TestForwardingBehaviour:
+    def test_stale_message_reaches_moved_process(self):
+        system = make_bare_system()
+        got = []
+
+        def receiver(ctx):
+            msg = yield ctx.receive()
+            got.append((msg.op, ctx.machine, msg.forward_count))
+            yield ctx.exit()
+
+        pid = system.spawn(receiver, machine=0)
+        system.migrate(pid, 2)
+        drain(system)
+        # Stale address: still names machine 0.
+        system.kernel(1).send_to_process(
+            ProcessAddress(pid, 0), "stale", {}, kind=MessageKind.USER,
+        )
+        drain(system)
+        assert got == [("stale", 2, 1)]
+
+    def test_forward_traced(self):
+        system = make_bare_system()
+        pid = system.spawn(parked, machine=0)
+        system.migrate(pid, 1)
+        drain(system)
+        system.kernel(2).send_to_process(
+            ProcessAddress(pid, 0), "x", {}, kind=MessageKind.USER,
+        )
+        drain(system)
+        hits = system.tracer.records("forward", "hit")
+        assert len(hits) == 1
+        assert hits[0].fields["to"] == 1
+
+    def test_chain_hops_accumulate(self):
+        system = make_bare_system(machines=4)
+        got = {}
+
+        def receiver(ctx):
+            msg = yield ctx.receive()
+            got["hops"] = msg.forward_count
+            yield ctx.exit()
+
+        pid = system.spawn(receiver, machine=0)
+        for dest in (1, 2, 3):
+            system.migrate(pid, dest)
+            drain(system)
+        system.kernel(0).send_to_process(
+            ProcessAddress(pid, 0), "chase", {}, kind=MessageKind.USER,
+        )
+        drain(system)
+        assert got["hops"] == 3  # 0 -> 1 -> 2 -> 3
+
+    def test_message_during_migration_is_held_not_forwarded(self):
+        system = make_bare_system()
+        got = []
+
+        def receiver(ctx):
+            msg = yield ctx.receive()
+            got.append(msg.op)
+            yield ctx.exit()
+
+        pid = system.spawn(receiver, machine=0)
+        drain(system)
+        system.kernel(0).migration.start(pid, 1)
+        # Process is IN_MIGRATION on machine 0; this message must be held
+        # in its queue and travel with the pending-message forwarding.
+        system.kernel(0).send_to_process(
+            ProcessAddress(pid, 0), "mid-flight", {}, kind=MessageKind.USER,
+        )
+        state = system.kernel(0).processes[pid]
+        assert state.status is ProcessStatus.IN_MIGRATION
+        assert len(state.message_queue) == 1
+        drain(system)
+        assert got == ["mid-flight"]
+
+    def test_forwarding_cost_is_visible_in_kernel_stats(self):
+        system = make_bare_system()
+        pid = system.spawn(parked, machine=0)
+        system.migrate(pid, 1)
+        drain(system)
+        for _ in range(4):
+            system.kernel(2).send_to_process(
+                ProcessAddress(pid, 0), "spam", {}, kind=MessageKind.USER,
+            )
+        drain(system)
+        assert system.kernel(0).stats.messages_forwarded == 4

@@ -1,0 +1,151 @@
+"""Tests for links and link tables (paper §2.1, §2.2, §2.4)."""
+
+import pytest
+
+from repro.errors import InvalidLinkError
+from repro.kernel.ids import ProcessAddress, ProcessId
+from repro.kernel.links import (
+    LINK_TABLE_ENTRY_BYTES,
+    DataArea,
+    Link,
+    LinkAttribute,
+    LinkSnapshot,
+    LinkTable,
+    make_reply_link,
+    with_data_area,
+)
+
+
+def addr(machine=0, local=1, at=None):
+    return ProcessAddress(ProcessId(machine, local), at if at is not None else machine)
+
+
+class TestLink:
+    def test_target_pid_never_changes_on_retarget(self):
+        link = Link(addr())
+        link.retarget(5)
+        assert link.target_pid == ProcessId(0, 1)
+        assert link.address.last_known_machine == 5
+
+    def test_copy_is_independent(self):
+        link = Link(addr())
+        dup = link.copy()
+        dup.retarget(9)
+        assert link.address.last_known_machine == 0
+
+    def test_deliver_to_kernel_flag(self):
+        assert Link(addr(), LinkAttribute.DELIVER_TO_KERNEL).deliver_to_kernel
+        assert not Link(addr()).deliver_to_kernel
+
+    def test_reply_link_is_plain(self):
+        link = make_reply_link(addr())
+        assert link.attributes == LinkAttribute.NONE
+
+    def test_with_data_area_read_only(self):
+        link = with_data_area(addr(), 0, 100)
+        assert link.attributes & LinkAttribute.DATA_READ
+        assert not link.attributes & LinkAttribute.DATA_WRITE
+
+    def test_with_data_area_writable(self):
+        link = with_data_area(addr(), 0, 100, writable=True)
+        assert link.attributes & LinkAttribute.DATA_WRITE
+
+
+class TestDataArea:
+    def test_contains_inside(self):
+        area = DataArea(100, 50)
+        assert area.contains(100, 50)
+        assert area.contains(120, 10)
+
+    def test_contains_rejects_overflow(self):
+        area = DataArea(100, 50)
+        assert not area.contains(100, 51)
+        assert not area.contains(99, 10)
+        assert not area.contains(160, 1)
+
+
+class TestLinkSnapshot:
+    def test_snapshot_round_trip(self):
+        link = with_data_area(addr(), 4, 8)
+        snap = LinkSnapshot.of(link)
+        revived = snap.materialise()
+        assert revived.address == link.address
+        assert revived.attributes == link.attributes
+        assert revived.data_area == link.data_area
+
+    def test_snapshot_is_immutable_while_enroute(self):
+        import dataclasses
+
+        snap = LinkSnapshot.of(Link(addr()))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snap.address = addr(1, 1)
+
+
+class TestLinkTable:
+    def test_insert_and_get(self):
+        table = LinkTable()
+        link = Link(addr())
+        link_id = table.insert(link)
+        assert table.get(link_id) is link
+
+    def test_ids_never_reused(self):
+        table = LinkTable()
+        first = table.insert(Link(addr()))
+        table.remove(first)
+        second = table.insert(Link(addr()))
+        assert second != first
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(InvalidLinkError):
+            LinkTable().get(99)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(InvalidLinkError):
+            LinkTable().remove(1)
+
+    def test_dup_creates_independent_copy(self):
+        table = LinkTable()
+        original = table.insert(Link(addr()))
+        duplicate = table.dup(original)
+        table.get(duplicate).retarget(7)
+        assert table.get(original).address.last_known_machine == 0
+
+    def test_contains_and_len(self):
+        table = LinkTable()
+        link_id = table.insert(Link(addr()))
+        assert link_id in table
+        assert len(table) == 1
+
+    def test_links_to(self):
+        table = LinkTable()
+        table.insert(Link(addr(0, 1)))
+        table.insert(Link(addr(0, 1)))
+        table.insert(Link(addr(0, 2)))
+        assert len(table.links_to(ProcessId(0, 1))) == 2
+
+    def test_retarget_all_updates_every_matching_link(self):
+        table = LinkTable()
+        table.insert(Link(addr(0, 1)))
+        table.insert(Link(addr(0, 1)))
+        table.insert(Link(addr(0, 2)))
+        changed = table.retarget_all(ProcessId(0, 1), 5)
+        assert changed == 2
+        for link in table.links_to(ProcessId(0, 1)):
+            assert link.address.last_known_machine == 5
+        assert table.links_to(ProcessId(0, 2))[0].address.last_known_machine == 0
+
+    def test_retarget_all_skips_already_current(self):
+        table = LinkTable()
+        table.insert(Link(addr(0, 1, at=5)))
+        assert table.retarget_all(ProcessId(0, 1), 5) == 0
+
+    def test_swappable_bytes_grow_with_table(self):
+        table = LinkTable()
+        assert table.swappable_bytes() == 0
+        table.insert(Link(addr()))
+        assert table.swappable_bytes() == LINK_TABLE_ENTRY_BYTES
+
+    def test_items_sorted_by_id(self):
+        table = LinkTable()
+        ids = [table.insert(Link(addr())) for _ in range(5)]
+        assert [i for i, _ in table.items()] == sorted(ids)

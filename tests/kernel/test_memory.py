@@ -1,0 +1,109 @@
+"""Tests for memory images and the per-kernel memory manager."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.kernel.memory import (
+    MemoryImage,
+    MemoryManager,
+    SegmentKind,
+)
+
+
+class TestMemoryImage:
+    def test_sized_builder(self):
+        image = MemoryImage.sized(code=100, data=200, stack=50)
+        assert image.total_bytes == 350
+        assert image.segment(SegmentKind.CODE).size_bytes == 100
+
+    def test_resident_excludes_swapped(self):
+        image = MemoryImage.sized(code=100, data=200, stack=50)
+        image.segment(SegmentKind.DATA).swapped_out = True
+        assert image.resident_bytes == 150
+        assert image.total_bytes == 350
+
+    def test_address_space_contains(self):
+        image = MemoryImage.sized(code=100, data=100, stack=100)
+        assert image.address_space_contains(0, 300)
+        assert image.address_space_contains(250, 50)
+        assert not image.address_space_contains(250, 51)
+        assert not image.address_space_contains(-1, 10)
+
+
+class TestMemoryManager:
+    def test_attach_accounts_usage(self):
+        manager = MemoryManager(capacity_bytes=1_000)
+        manager.attach("p", MemoryImage.sized(code=100, data=100, stack=100))
+        assert manager.used_bytes == 300
+        assert manager.free_bytes == 700
+
+    def test_detach_frees(self):
+        manager = MemoryManager(capacity_bytes=1_000)
+        manager.attach("p", MemoryImage.sized(code=100, data=100, stack=100))
+        manager.detach("p")
+        assert manager.used_bytes == 0
+
+    def test_detach_unknown_raises(self):
+        with pytest.raises(MemoryError_):
+            MemoryManager().detach("ghost")
+
+    def test_attach_swaps_out_victims_to_fit(self):
+        manager = MemoryManager(capacity_bytes=1_000)
+        manager.attach("a", MemoryImage.sized(code=100, data=600, stack=100))
+        manager.attach("b", MemoryImage.sized(code=100, data=300, stack=100))
+        assert manager.swap_outs > 0
+        assert manager.used_bytes <= 1_000
+
+    def test_attach_fails_when_impossible(self):
+        manager = MemoryManager(capacity_bytes=500)
+        with pytest.raises(MemoryError_):
+            manager.attach("big", MemoryImage.sized(code=600, data=0, stack=0))
+
+    def test_reserve_and_commit(self):
+        manager = MemoryManager(capacity_bytes=1_000)
+        assert manager.reserve("p", 400)
+        assert manager.used_bytes == 400
+        image = MemoryImage.sized(code=100, data=200, stack=100)
+        manager.commit_reservation("p", image)
+        assert manager.used_bytes == 400
+
+    def test_reserve_refused_when_full(self):
+        manager = MemoryManager(capacity_bytes=100)
+        assert not manager.reserve("p", 500)
+        assert manager.used_bytes == 0
+
+    def test_cancel_reservation(self):
+        manager = MemoryManager(capacity_bytes=1_000)
+        manager.reserve("p", 400)
+        manager.cancel_reservation("p")
+        assert manager.used_bytes == 0
+
+    def test_commit_without_reservation_raises(self):
+        with pytest.raises(MemoryError_):
+            MemoryManager().commit_reservation("p", MemoryImage.sized())
+
+    def test_swap_out_and_in(self):
+        manager = MemoryManager(capacity_bytes=1_000)
+        image = MemoryImage.sized(code=100, data=200, stack=100)
+        manager.attach("p", image)
+        manager.swap_out("p", SegmentKind.DATA)
+        assert manager.used_bytes == 200
+        manager.swap_in("p", SegmentKind.DATA)
+        assert manager.used_bytes == 400
+        assert manager.swap_ins == 1
+
+    def test_swap_out_idempotent(self):
+        manager = MemoryManager()
+        manager.attach("p", MemoryImage.sized())
+        manager.swap_out("p", SegmentKind.DATA)
+        manager.swap_out("p", SegmentKind.DATA)
+        assert manager.swap_outs == 1
+
+    def test_code_segments_never_chosen_as_victims(self):
+        manager = MemoryManager(capacity_bytes=1_000)
+        manager.attach("a", MemoryImage.sized(code=800, data=50, stack=50))
+        # Only data/stack (100B) can be reclaimed; a 400B reservation
+        # cannot fit even after swapping.
+        assert not manager.reserve("b", 400)
+        code = manager._images["a"].segment(SegmentKind.CODE)
+        assert not code.swapped_out

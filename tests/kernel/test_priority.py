@@ -1,0 +1,87 @@
+"""Tests for priority scheduling (dispatch info in the process state)."""
+
+from repro.kernel.ids import ProcessId
+from repro.kernel.scheduler import RoundRobinScheduler
+from tests.conftest import drain, make_bare_system
+
+
+def pid(n):
+    return ProcessId(0, n)
+
+
+class TestSchedulerPriorities:
+    def test_higher_priority_dispatches_first(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1), priority=0)
+        sched.enqueue(pid(2), priority=5)
+        sched.enqueue(pid(3), priority=0)
+        assert sched.pick_next() == pid(2)
+
+    def test_fifo_within_priority(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1), priority=3)
+        sched.enqueue(pid(2), priority=3)
+        assert sched.pick_next() == pid(1)
+        sched.release_cpu(pid(1))
+        assert sched.pick_next() == pid(2)
+
+    def test_remove_respects_priority_queues(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1), priority=1)
+        sched.enqueue(pid(2), priority=2)
+        sched.remove(pid(2))
+        assert sched.pick_next() == pid(1)
+        assert len(sched) == 0
+
+    def test_queued_pids_ordered_by_priority_then_fifo(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1), priority=0)
+        sched.enqueue(pid(2), priority=9)
+        sched.enqueue(pid(3), priority=0)
+        assert sched.queued_pids() == [pid(2), pid(1), pid(3)]
+
+    def test_negative_priority_runs_last(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1), priority=-1)
+        sched.enqueue(pid(2), priority=0)
+        assert sched.pick_next() == pid(2)
+
+
+class TestPriorityBehaviour:
+    def test_high_priority_job_finishes_first(self):
+        system = make_bare_system()
+        order = []
+
+        def make_job(tag):
+            def job(ctx):
+                yield ctx.compute(20_000)
+                order.append(tag)
+                yield ctx.exit()
+            return job
+
+        # Spawn the low-priority job first so FIFO would favour it.
+        system.kernel(0).spawn(make_job("low"), name="low", priority=0)
+        system.kernel(0).spawn(make_job("high"), name="high", priority=5)
+        drain(system)
+        assert order == ["high", "low"]
+
+    def test_priority_travels_with_migration(self):
+        system = make_bare_system()
+        order = []
+
+        def make_job(tag, total):
+            def job(ctx):
+                yield ctx.compute(total)
+                order.append(tag)
+                yield ctx.exit()
+            return job
+
+        vip = system.kernel(0).spawn(
+            make_job("vip", 30_000), name="vip", priority=7,
+        )
+        system.migrate(vip, 1)
+        # Competition waiting on the destination.
+        system.kernel(1).spawn(make_job("peasant", 30_000), name="p")
+        drain(system)
+        assert system.process_state(vip) is None  # exited
+        assert order[0] == "vip"

@@ -1,0 +1,106 @@
+"""Tests for the process state object (paper Figure 2-2, §6 sizes)."""
+
+import pytest
+
+from repro.errors import ProcessStateError
+from repro.kernel.ids import ProcessId
+from repro.kernel.links import Link, LinkTable
+from repro.kernel.process_state import (
+    RESIDENT_STATE_BYTES,
+    SWAPPABLE_STATE_BASE_BYTES,
+    ProcessState,
+    ProcessStatus,
+)
+from repro.kernel.ids import ProcessAddress
+
+
+def make_state(status=ProcessStatus.READY):
+    state = ProcessState(pid=ProcessId(0, 1))
+    state.status = status
+    return state
+
+
+class TestSizes:
+    def test_resident_state_is_about_250_bytes(self):
+        assert make_state().resident_state_bytes == 250
+        assert RESIDENT_STATE_BYTES == 250
+
+    def test_swappable_state_depends_on_link_table(self):
+        state = make_state()
+        empty = state.swappable_state_bytes
+        assert empty == SWAPPABLE_STATE_BASE_BYTES
+        for local in range(10):
+            state.link_table.insert(
+                Link(ProcessAddress(ProcessId(0, local + 2), 0))
+            )
+        # Ten links bring the swappable state to the paper's ~600 bytes.
+        assert state.swappable_state_bytes == 600
+
+    def test_program_bytes_are_memory_total(self):
+        state = make_state()
+        assert state.program_bytes == state.memory.total_bytes
+
+
+class TestMigrationTransitions:
+    def test_begin_records_status_and_freezes(self):
+        state = make_state(ProcessStatus.WAITING_MESSAGE)
+        state.begin_migration()
+        assert state.status is ProcessStatus.IN_MIGRATION
+        assert state.saved_status is ProcessStatus.WAITING_MESSAGE
+
+    def test_running_recorded_as_ready(self):
+        state = make_state(ProcessStatus.RUNNING)
+        state.begin_migration()
+        assert state.saved_status is ProcessStatus.READY
+
+    def test_complete_restores_recorded_status(self):
+        state = make_state(ProcessStatus.SUSPENDED)
+        state.begin_migration()
+        state.complete_migration()
+        assert state.status is ProcessStatus.SUSPENDED
+        assert state.saved_status is None
+        assert state.accounting.migrations == 1
+
+    def test_abort_restores_without_counting(self):
+        state = make_state(ProcessStatus.READY)
+        state.begin_migration()
+        state.abort_migration()
+        assert state.status is ProcessStatus.READY
+        assert state.accounting.migrations == 0
+
+    def test_double_begin_rejected(self):
+        state = make_state()
+        state.begin_migration()
+        with pytest.raises(ProcessStateError):
+            state.begin_migration()
+
+    def test_begin_on_terminated_rejected(self):
+        state = make_state(ProcessStatus.TERMINATED)
+        with pytest.raises(ProcessStateError):
+            state.begin_migration()
+
+    def test_complete_without_begin_rejected(self):
+        with pytest.raises(ProcessStateError):
+            make_state().complete_migration()
+
+    def test_abort_without_begin_rejected(self):
+        with pytest.raises(ProcessStateError):
+            make_state().abort_migration()
+
+    def test_sleeping_status_survives_round_trip(self):
+        state = make_state(ProcessStatus.SLEEPING)
+        state.begin_migration()
+        state.complete_migration()
+        assert state.status is ProcessStatus.SLEEPING
+
+
+class TestQueue:
+    def test_queued_message_count(self):
+        state = make_state()
+        assert state.queued_message_count == 0
+        state.message_queue.append(object())
+        assert state.queued_message_count == 1
+
+    def test_repr_is_informative(self):
+        text = repr(make_state())
+        assert "p0.1" in text and "ready" in text

@@ -1,0 +1,134 @@
+"""Tests for kernel-level remote process creation (OP_SPAWN)."""
+
+from repro.kernel.ids import ProcessAddress, kernel_address
+from repro.kernel.ops import OP_SPAWN, OP_SPAWN_REPLY
+from tests.conftest import drain, make_bare_system
+
+
+def register_trivial(system, log):
+    def trivial(ctx, tag=0):
+        log.append(("ran", tag, ctx.machine))
+        yield ctx.exit()
+
+    for kernel in system.kernels:
+        kernel.register_program("trivial", trivial)
+
+
+class TestRemoteSpawn:
+    def test_spawn_request_creates_process(self):
+        system = make_bare_system()
+        log = []
+        register_trivial(system, log)
+        system.kernel(0).send_control(
+            1, OP_SPAWN,
+            {"program": "trivial", "params": {"tag": 7}, "name": "t"},
+            payload_bytes=24, category="control",
+        )
+        drain(system)
+        assert log == [("ran", 7, 1)]
+
+    def test_spawn_reply_carries_pid_and_control_link(self):
+        system = make_bare_system()
+        log = []
+        register_trivial(system, log)
+        replies = []
+
+        def requester(ctx):
+            yield ctx.send(
+                ctx.bootstrap["kernel1"], op=OP_SPAWN,
+                payload={
+                    "program": "trivial",
+                    "name": "child",
+                    "reply_to": ProcessAddress(ctx.pid, ctx.machine),
+                    "req_id": 5,
+                },
+                payload_bytes=24,
+            )
+            msg = yield ctx.receive()
+            replies.append(msg)
+            yield ctx.exit()
+
+        system.kernel(0).spawn(
+            requester, name="requester",
+            extra_links={"kernel1": kernel_address(1)},
+        )
+        drain(system)
+        (reply,) = replies
+        assert reply.op == OP_SPAWN_REPLY
+        assert reply.payload["ok"] and reply.payload["req_id"] == 5
+        assert reply.payload["machine"] == 1
+        # A DELIVERTOKERNEL control link was enclosed.
+        assert len(reply.delivered_link_ids) == 1
+
+    def test_spawn_unknown_program_reports_error(self):
+        system = make_bare_system()
+        replies = []
+
+        def requester(ctx):
+            yield ctx.send(
+                ctx.bootstrap["kernel1"], op=OP_SPAWN,
+                payload={
+                    "program": "does-not-exist",
+                    "reply_to": ProcessAddress(ctx.pid, ctx.machine),
+                    "req_id": 1,
+                },
+                payload_bytes=24,
+            )
+            msg = yield ctx.receive()
+            replies.append(msg.payload)
+            yield ctx.exit()
+
+        system.kernel(0).spawn(
+            requester, name="requester",
+            extra_links={"kernel1": kernel_address(1)},
+        )
+        drain(system)
+        assert replies[0]["ok"] is False
+        assert "unknown program" in replies[0]["error"]
+
+    def test_spawn_without_reply_to_is_fire_and_forget(self):
+        system = make_bare_system()
+        log = []
+        register_trivial(system, log)
+        system.kernel(0).send_control(
+            2, OP_SPAWN, {"program": "trivial"}, payload_bytes=24,
+            category="control",
+        )
+        drain(system)
+        assert log and log[0][2] == 2
+
+    def test_control_link_from_reply_can_migrate_child(self):
+        system = make_bare_system()
+        log = []
+
+        def longlived(ctx):
+            while True:
+                yield ctx.receive()
+
+        for kernel in system.kernels:
+            kernel.register_program("longlived", longlived)
+        child_pid = {}
+
+        def requester(ctx):
+            yield ctx.send(
+                ctx.bootstrap["kernel1"], op=OP_SPAWN,
+                payload={
+                    "program": "longlived",
+                    "reply_to": ProcessAddress(ctx.pid, ctx.machine),
+                    "req_id": 1,
+                },
+                payload_bytes=24,
+            )
+            msg = yield ctx.receive()
+            child_pid["pid"] = msg.payload["pid"]
+            control = msg.delivered_link_ids[0]
+            yield ctx.send(control, op="migrate-process",
+                          payload={"dest": 2}, deliver_to_kernel=True)
+            yield ctx.exit()
+
+        system.kernel(0).spawn(
+            requester, name="requester",
+            extra_links={"kernel1": kernel_address(1)},
+        )
+        drain(system)
+        assert system.where_is(child_pid["pid"]) == 2

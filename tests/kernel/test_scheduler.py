@@ -1,0 +1,72 @@
+"""Tests for the round-robin scheduler."""
+
+from repro.kernel.ids import ProcessId
+from repro.kernel.scheduler import RoundRobinScheduler
+
+
+def pid(n):
+    return ProcessId(0, n)
+
+
+class TestRoundRobin:
+    def test_fifo_order(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1))
+        sched.enqueue(pid(2))
+        assert sched.pick_next() == pid(1)
+        sched.release_cpu(pid(1))
+        assert sched.pick_next() == pid(2)
+
+    def test_enqueue_is_idempotent(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1))
+        sched.enqueue(pid(1))
+        assert len(sched) == 1
+
+    def test_running_process_not_requeued(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1))
+        assert sched.pick_next() == pid(1)
+        sched.enqueue(pid(1))  # still marked running
+        assert len(sched) == 0
+        sched.release_cpu(pid(1))
+        sched.enqueue(pid(1))
+        assert len(sched) == 1
+
+    def test_remove_from_queue(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1))
+        sched.enqueue(pid(2))
+        sched.remove(pid(1))
+        assert sched.pick_next() == pid(2)
+
+    def test_remove_absent_is_noop(self):
+        sched = RoundRobinScheduler()
+        sched.remove(pid(9))
+
+    def test_pick_from_empty_is_none(self):
+        assert RoundRobinScheduler().pick_next() is None
+
+    def test_load_counts_queue_plus_running(self):
+        sched = RoundRobinScheduler()
+        assert sched.load == 0
+        sched.enqueue(pid(1))
+        sched.enqueue(pid(2))
+        assert sched.load == 2
+        sched.pick_next()
+        assert sched.load == 2  # one running + one queued
+        sched.release_cpu(pid(1))
+        assert sched.load == 1
+
+    def test_queued_pids_in_order(self):
+        sched = RoundRobinScheduler()
+        for n in (3, 1, 2):
+            sched.enqueue(pid(n))
+        assert sched.queued_pids() == [pid(3), pid(1), pid(2)]
+
+    def test_release_other_pid_keeps_running(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(pid(1))
+        sched.pick_next()
+        sched.release_cpu(pid(2))
+        assert sched.running == pid(1)

@@ -1,0 +1,121 @@
+"""Property-based tests for kernel data structures."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.ids import ProcessAddress, ProcessId
+from repro.kernel.links import Link, LinkTable
+from repro.kernel.memory import MemoryImage, MemoryManager, SegmentKind
+
+pids = st.builds(
+    ProcessId,
+    creating_machine=st.integers(min_value=0, max_value=7),
+    local_id=st.integers(min_value=1, max_value=9),
+)
+machines = st.integers(min_value=0, max_value=7)
+
+
+class TestLinkTableProperties:
+    @given(targets=st.lists(st.tuples(pids, machines), max_size=30),
+           victim=pids, new_machine=machines)
+    def test_retarget_all_is_precise(self, targets, victim, new_machine):
+        """retarget_all changes exactly the stale links to the victim pid
+        and nothing else."""
+        table = LinkTable()
+        for pid, machine in targets:
+            table.insert(Link(ProcessAddress(pid, machine)))
+        stale_before = sum(
+            1 for pid, machine in targets
+            if pid == victim and machine != new_machine
+        )
+        others_before = [
+            (lid, link.address) for lid, link in table.items()
+            if link.target_pid != victim
+        ]
+        changed = table.retarget_all(victim, new_machine)
+        assert changed == stale_before
+        for link in table.links_to(victim):
+            assert link.address.last_known_machine == new_machine
+        others_after = [
+            (lid, link.address) for lid, link in table.items()
+            if link.target_pid != victim
+        ]
+        assert others_before == others_after
+
+    @given(count=st.integers(min_value=0, max_value=40))
+    def test_ids_unique_across_inserts_and_removals(self, count):
+        table = LinkTable()
+        seen = set()
+        address = ProcessAddress(ProcessId(0, 1), 0)
+        for i in range(count):
+            link_id = table.insert(Link(address))
+            assert link_id not in seen
+            seen.add(link_id)
+            if i % 3 == 0:
+                table.remove(link_id)
+
+    @given(targets=st.lists(st.tuples(pids, machines), max_size=30))
+    def test_retarget_idempotent(self, targets):
+        table = LinkTable()
+        for pid, machine in targets:
+            table.insert(Link(ProcessAddress(pid, machine)))
+        for pid, _ in targets:
+            table.retarget_all(pid, 3)
+            assert table.retarget_all(pid, 3) == 0
+
+
+class TestMemoryManagerProperties:
+    @given(
+        sizes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2_000),  # code
+                st.integers(min_value=0, max_value=2_000),  # data
+                st.integers(min_value=0, max_value=2_000),  # stack
+            ),
+            max_size=12,
+        ),
+    )
+    def test_usage_never_exceeds_capacity(self, sizes):
+        manager = MemoryManager(capacity_bytes=8_000)
+        attached = []
+        for index, (code, data, stack) in enumerate(sizes):
+            image = MemoryImage.sized(code=code, data=data, stack=stack)
+            try:
+                manager.attach(index, image)
+                attached.append(index)
+            except Exception:
+                pass
+            assert manager.used_bytes <= manager.capacity_bytes
+        for owner in attached:
+            manager.detach(owner)
+        assert manager.used_bytes == 0
+
+    @given(
+        reservations=st.lists(
+            st.integers(min_value=0, max_value=5_000), max_size=10,
+        ),
+    )
+    def test_reservations_respect_capacity(self, reservations):
+        manager = MemoryManager(capacity_bytes=8_000)
+        granted = 0
+        for index, size in enumerate(reservations):
+            if manager.reserve(index, size):
+                granted += size
+            assert manager.used_bytes == granted
+            assert manager.used_bytes <= manager.capacity_bytes
+
+    @given(
+        swaps=st.lists(
+            st.sampled_from(list(SegmentKind)), max_size=12,
+        ),
+    )
+    def test_swap_round_trips_preserve_totals(self, swaps):
+        manager = MemoryManager(capacity_bytes=100_000)
+        image = MemoryImage.sized(code=4_000, data=2_000, stack=1_000)
+        manager.attach("p", image)
+        total = image.total_bytes
+        for kind in swaps:
+            manager.swap_out("p", kind)
+            assert image.total_bytes == total
+            manager.swap_in("p", kind)
+        assert manager.used_bytes == total

@@ -1,0 +1,31 @@
+"""Unit tests for the command interpreter's parsers."""
+
+from repro.kernel.ids import ProcessId
+from repro.servers.command_interpreter import _parse_pid, _parse_value
+
+
+class TestParsePid:
+    def test_valid(self):
+        assert _parse_pid("2.5") == ProcessId(2, 5)
+        assert _parse_pid("0.1") == ProcessId(0, 1)
+
+    def test_invalid_shapes(self):
+        assert _parse_pid("banana") is None
+        assert _parse_pid("1") is None
+        assert _parse_pid("1.2.3") is None
+        assert _parse_pid("a.b") is None
+        assert _parse_pid("") is None
+
+
+class TestParseValue:
+    def test_int(self):
+        assert _parse_value("42") == 42
+        assert _parse_value("-7") == -7
+
+    def test_bool(self):
+        assert _parse_value("true") is True
+        assert _parse_value("False") is False
+
+    def test_string_fallback(self):
+        assert _parse_value("hello") == "hello"
+        assert _parse_value("3.14") == "3.14"  # no float params in programs

@@ -1,0 +1,109 @@
+"""Tests for the command interpreter."""
+
+from repro.servers.common import rpc
+from tests.conftest import drain, make_system
+
+
+def run_commands(system, lines, machine=3):
+    """Send each command line in sequence; returns the reply payloads."""
+    replies = []
+
+    def client(ctx):
+        for line in lines:
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["command_interpreter"], "command",
+                {"line": line}, payload_bytes=16 + len(line),
+            )
+            replies.append(reply.payload)
+        yield ctx.exit()
+
+    system.spawn(client, machine=machine, name="shell")
+    drain(system)
+    return replies
+
+
+class TestCommands:
+    def test_help(self):
+        system = make_system()
+        (reply,) = run_commands(system, ["help"])
+        assert reply["ok"] and "commands:" in reply["text"]
+
+    def test_empty_line_is_help(self):
+        system = make_system()
+        (reply,) = run_commands(system, ["   "])
+        assert reply["ok"]
+
+    def test_unknown_command(self):
+        system = make_system()
+        (reply,) = run_commands(system, ["frobnicate"])
+        assert reply["ok"] is False
+
+    def test_run_starts_a_process(self):
+        system = make_system()
+        (reply,) = run_commands(
+            system, ["run compute on 2 total=1000 name=shelljob"],
+        )
+        assert reply["ok"], reply
+        assert "started" in reply["text"]
+        assert reply["pid"].creating_machine == 2
+
+    def test_run_unknown_program(self):
+        system = make_system()
+        (reply,) = run_commands(system, ["run nonsense on 1"])
+        assert reply["ok"] is False
+
+    def test_ps_lists_started_process(self):
+        system = make_system(notify_process_manager=True)
+        run_reply, ps_reply = run_commands(
+            system,
+            ["run pinger on 1 rounds=10000 gap=100000 name=visible",
+             "ps"],
+        )
+        assert run_reply["ok"]
+        assert "visible" in ps_reply["text"]
+
+    def test_migrate_command_moves_process(self):
+        system = make_system(notify_process_manager=True)
+        (run_reply,) = run_commands(
+            system, ["run pinger on 1 rounds=10000 gap=100000"],
+        )
+        pid = run_reply["pid"]
+        (migrate_reply,) = run_commands(
+            system, [f"migrate {pid.creating_machine}.{pid.local_id} 3"],
+        )
+        assert migrate_reply["ok"], migrate_reply
+        drain(system)
+        assert system.where_is(pid) == 3
+
+    def test_where_command(self):
+        system = make_system(notify_process_manager=True)
+        (run_reply,) = run_commands(
+            system, ["run pinger on 2 rounds=10000 gap=100000"],
+        )
+        pid = run_reply["pid"]
+        (where_reply,) = run_commands(
+            system, [f"where {pid.creating_machine}.{pid.local_id}"],
+        )
+        assert where_reply["ok"]
+        assert where_reply["machine"] == 2
+
+    def test_bad_pid_syntax(self):
+        system = make_system()
+        (reply,) = run_commands(system, ["migrate banana 3"])
+        assert reply["ok"] is False
+        assert "bad pid" in reply["text"]
+
+    def test_stop_command(self):
+        from repro.kernel.process_state import ProcessStatus
+
+        system = make_system(notify_process_manager=True)
+        (run_reply,) = run_commands(
+            system, ["run pinger on 1 rounds=10000 gap=100000"],
+        )
+        pid = run_reply["pid"]
+        (stop_reply,) = run_commands(
+            system, [f"stop {pid.creating_machine}.{pid.local_id}"],
+        )
+        assert stop_reply["ok"]
+        drain(system)
+        assert system.process_state(pid).status is ProcessStatus.SUSPENDED

@@ -1,0 +1,214 @@
+"""Tests for the four-process file system."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.servers.filesystem import BLOCK_SIZE, FileClient
+from tests.conftest import drain, make_system
+
+
+def run_client(system, script, machine=0):
+    """Spawn a program built from *script(fs, out)* and drain."""
+    out = {}
+
+    def program(ctx):
+        fs = FileClient(ctx)
+        yield from script(fs, out)
+        yield ctx.exit()
+
+    system.spawn(program, machine=machine, name="fs-test-client")
+    drain(system)
+    return out
+
+
+class TestBasicOperations:
+    def test_create_open_close(self):
+        system = make_system()
+
+        def script(fs, out):
+            out["create"] = yield from fs.create("a.txt")
+            out["handle"] = yield from fs.open("a.txt")
+            out["closed"] = yield from fs.close(out["handle"])
+
+        out = run_client(system, script)
+        assert out["create"]["ok"]
+        assert out["handle"] >= 1
+        assert out["closed"] is True
+
+    def test_write_then_read_round_trip(self):
+        system = make_system()
+        payload = b"the quick brown fox jumps over the lazy dog"
+
+        def script(fs, out):
+            yield from fs.create("f")
+            handle = yield from fs.open("f")
+            out["written"] = yield from fs.write(handle, 0, payload)
+            out["data"] = yield from fs.read(handle, 0, len(payload))
+
+        out = run_client(system, script)
+        assert out["written"] == len(payload)
+        assert out["data"] == payload
+
+    def test_write_spanning_blocks(self):
+        system = make_system()
+        payload = bytes(range(256)) * 5  # 1280 bytes: 3 blocks of 512
+
+        def script(fs, out):
+            yield from fs.create("big")
+            handle = yield from fs.open("big")
+            yield from fs.write(handle, 0, payload)
+            out["data"] = yield from fs.read(handle, 0, len(payload))
+
+        out = run_client(system, script)
+        assert out["data"] == payload
+
+    def test_partial_overwrite_preserves_rest(self):
+        system = make_system()
+
+        def script(fs, out):
+            yield from fs.create("f")
+            handle = yield from fs.open("f")
+            yield from fs.write(handle, 0, b"AAAAAAAAAA")
+            yield from fs.write(handle, 3, b"bbb")
+            out["data"] = yield from fs.read(handle, 0, 10)
+
+        out = run_client(system, script)
+        assert out["data"] == b"AAAbbbAAAA"
+
+    def test_unaligned_offset_write(self):
+        system = make_system()
+
+        def script(fs, out):
+            yield from fs.create("f")
+            handle = yield from fs.open("f")
+            # Straddle the first block boundary.
+            yield from fs.write(handle, BLOCK_SIZE - 4, b"12345678")
+            out["data"] = yield from fs.read(handle, BLOCK_SIZE - 4, 8)
+            stat = yield from fs.stat("f")
+            out["size"] = stat["size"]
+
+        out = run_client(system, script)
+        assert out["data"] == b"12345678"
+        assert out["size"] == BLOCK_SIZE + 4
+
+    def test_read_past_eof_truncates(self):
+        system = make_system()
+
+        def script(fs, out):
+            yield from fs.create("f")
+            handle = yield from fs.open("f")
+            yield from fs.write(handle, 0, b"short")
+            out["data"] = yield from fs.read(handle, 0, 1_000)
+
+        out = run_client(system, script)
+        assert out["data"] == b"short"
+
+    def test_open_missing_file_raises(self):
+        system = make_system()
+
+        def script(fs, out):
+            try:
+                yield from fs.open("missing")
+            except FileSystemError:
+                out["raised"] = True
+
+        assert run_client(system, script)["raised"]
+
+    def test_create_duplicate_fails(self):
+        system = make_system()
+
+        def script(fs, out):
+            yield from fs.create("dup")
+            out["second"] = yield from fs.create("dup")
+
+        out = run_client(system, script)
+        assert out["second"]["ok"] is False
+
+    def test_delete_and_list(self):
+        system = make_system()
+
+        def script(fs, out):
+            yield from fs.create("one")
+            yield from fs.create("two")
+            out["before"] = yield from fs.list()
+            out["deleted"] = yield from fs.delete("one")
+            out["after"] = yield from fs.list()
+
+        out = run_client(system, script)
+        assert out["before"] == ["one", "two"]
+        assert out["deleted"] is True
+        assert out["after"] == ["two"]
+
+    def test_stat_reports_size(self):
+        system = make_system()
+
+        def script(fs, out):
+            yield from fs.create("s")
+            handle = yield from fs.open("s")
+            yield from fs.write(handle, 0, b"x" * 700)
+            out["stat"] = yield from fs.stat("s")
+
+        out = run_client(system, script)
+        assert out["stat"]["size"] == 700
+        assert len(out["stat"]["blocks"]) == 2
+
+    def test_read_with_bad_handle(self):
+        system = make_system()
+
+        def script(fs, out):
+            try:
+                yield from fs.read(999, 0, 10)
+            except FileSystemError:
+                out["raised"] = True
+
+        assert run_client(system, script)["raised"]
+
+
+class TestConcurrencyAndCaching:
+    def test_interleaved_clients_do_not_corrupt(self):
+        system = make_system()
+        results = {}
+
+        def make_client(tag):
+            def program(ctx):
+                fs = FileClient(ctx)
+                name = f"c{tag}"
+                yield from fs.create(name)
+                handle = yield from fs.open(name)
+                payload = bytes([tag]) * 300
+                yield from fs.write(handle, 0, payload)
+                data = yield from fs.read(handle, 0, 300)
+                results[tag] = data == payload
+                yield ctx.exit()
+            return program
+
+        for tag in range(1, 5):
+            system.spawn(make_client(tag), machine=tag % 4)
+        drain(system)
+        assert results == {1: True, 2: True, 3: True, 4: True}
+
+    def test_buffer_cache_serves_repeat_reads(self):
+        system = make_system()
+        out = {}
+
+        def program(ctx):
+            from repro.servers.common import rpc
+
+            fs = FileClient(ctx)
+            yield from fs.create("hot")
+            handle = yield from fs.open("hot")
+            yield from fs.write(handle, 0, b"z" * 100)
+            for _ in range(5):
+                yield from fs.read(handle, 0, 100)
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["file_system"], "fs-ops", {},
+            )
+            out["ops"] = reply.payload["operations"]
+            yield ctx.exit()
+
+        system.spawn(program, machine=0)
+        drain(system)
+        # Buffer manager stats: the repeated reads hit the cache.
+        buffer_pid = system.server_pids["buffer_manager"]
+        assert system.is_alive(buffer_pid)
+        assert out["ops"] >= 7

@@ -1,0 +1,216 @@
+"""Tests for the individual file-system processes (buffer cache, disk,
+directory manager), driven through their own message protocols."""
+
+from repro.kernel.ids import ProcessAddress
+from repro.servers.common import rpc
+from repro.servers.filesystem import (
+    BLOCK_SIZE,
+    buffer_manager_program,
+    directory_manager_program,
+    disk_driver_program,
+)
+from tests.conftest import drain, make_bare_system
+
+
+def boot_pair(system, capacity=4):
+    """Spawn disk + buffer manager on machine 0; returns their addresses."""
+    kernel = system.kernel(0)
+    disk_pid = kernel.spawn(disk_driver_program, name="disk_driver")
+    disk_addr = ProcessAddress(disk_pid, 0)
+    buffer_pid = kernel.spawn(
+        lambda ctx: buffer_manager_program(ctx, capacity=capacity),
+        name="buffer_manager",
+        extra_links={"disk_driver": disk_addr},
+    )
+    return disk_addr, ProcessAddress(buffer_pid, 0)
+
+
+def run_script(system, target_addr, script, out):
+    """Run *script(ctx, link, out)* against a service address."""
+
+    def client(ctx):
+        yield from script(ctx, ctx.bootstrap["target"], out)
+        yield ctx.exit()
+
+    system.kernel(1).spawn(
+        client, name="client", extra_links={"target": target_addr},
+    )
+    drain(system)
+    return out
+
+
+class TestDiskDriver:
+    def test_unwritten_block_reads_zeroes(self):
+        system = make_bare_system()
+        kernel = system.kernel(0)
+        disk_pid = kernel.spawn(disk_driver_program, name="disk")
+        out = {}
+
+        def script(ctx, link, out):
+            reply = yield from rpc(ctx, link, "disk-read", {"block": 9})
+            out["data"] = reply.payload["data"]
+
+        run_script(system, ProcessAddress(disk_pid, 0), script, out)
+        assert out["data"] == bytes(BLOCK_SIZE)
+
+    def test_write_then_read_and_stats(self):
+        system = make_bare_system()
+        kernel = system.kernel(0)
+        disk_pid = kernel.spawn(disk_driver_program, name="disk")
+        out = {}
+
+        def script(ctx, link, out):
+            yield from rpc(ctx, link, "disk-write",
+                           {"block": 3, "data": b"v" * BLOCK_SIZE})
+            reply = yield from rpc(ctx, link, "disk-read", {"block": 3})
+            out["data"] = reply.payload["data"]
+            stats = yield from rpc(ctx, link, "disk-stats", {})
+            out["stats"] = stats.payload
+
+        run_script(system, ProcessAddress(disk_pid, 0), script, out)
+        assert out["data"] == b"v" * BLOCK_SIZE
+        assert out["stats"]["reads"] == 1
+        assert out["stats"]["writes"] == 1
+        assert out["stats"]["blocks_used"] == 1
+
+    def test_short_write_padded_to_block(self):
+        system = make_bare_system()
+        kernel = system.kernel(0)
+        disk_pid = kernel.spawn(disk_driver_program, name="disk")
+        out = {}
+
+        def script(ctx, link, out):
+            yield from rpc(ctx, link, "disk-write",
+                           {"block": 0, "data": b"abc"})
+            reply = yield from rpc(ctx, link, "disk-read", {"block": 0})
+            out["data"] = reply.payload["data"]
+
+        run_script(system, ProcessAddress(disk_pid, 0), script, out)
+        assert out["data"].startswith(b"abc")
+        assert len(out["data"]) == BLOCK_SIZE
+
+
+class TestBufferManager:
+    def test_cache_hit_skips_disk(self):
+        system = make_bare_system()
+        disk_addr, buffer_addr = boot_pair(system)
+        out = {}
+
+        def script(ctx, link, out):
+            yield from rpc(ctx, link, "bread", {"block": 1})
+            yield from rpc(ctx, link, "bread", {"block": 1})
+            yield from rpc(ctx, link, "bread", {"block": 1})
+            stats = yield from rpc(ctx, link, "buffer-stats", {})
+            out["stats"] = stats.payload
+
+        run_script(system, buffer_addr, script, out)
+        assert out["stats"]["misses"] == 1
+        assert out["stats"]["hits"] == 2
+
+    def test_lru_eviction_at_capacity(self):
+        system = make_bare_system()
+        disk_addr, buffer_addr = boot_pair(system, capacity=2)
+        out = {}
+
+        def script(ctx, link, out):
+            for block in (1, 2, 3):  # 3 evicts 1
+                yield from rpc(ctx, link, "bread", {"block": block})
+            yield from rpc(ctx, link, "bread", {"block": 1})  # miss again
+            stats = yield from rpc(ctx, link, "buffer-stats", {})
+            out["stats"] = stats.payload
+
+        run_script(system, buffer_addr, script, out)
+        assert out["stats"]["misses"] == 4
+        assert out["stats"]["cached"] == 2
+
+    def test_write_through_persists_past_eviction(self):
+        system = make_bare_system()
+        disk_addr, buffer_addr = boot_pair(system, capacity=1)
+        out = {}
+
+        def script(ctx, link, out):
+            yield from rpc(ctx, link, "bwrite",
+                           {"block": 5, "data": b"W" * BLOCK_SIZE})
+            # Evict block 5 by touching another block.
+            yield from rpc(ctx, link, "bread", {"block": 6})
+            reply = yield from rpc(ctx, link, "bread", {"block": 5})
+            out["data"] = reply.payload["data"]
+
+        run_script(system, buffer_addr, script, out)
+        assert out["data"] == b"W" * BLOCK_SIZE
+
+
+class TestDirectoryManager:
+    def boot(self, system):
+        pid = system.kernel(0).spawn(
+            directory_manager_program, name="dirmgr",
+        )
+        return ProcessAddress(pid, 0)
+
+    def test_create_lookup_delete_cycle(self):
+        system = make_bare_system()
+        addr = self.boot(system)
+        out = {}
+
+        def script(ctx, link, out):
+            created = yield from rpc(ctx, link, "dir-create", {"name": "f"})
+            out["inode"] = created.payload["inode"]
+            found = yield from rpc(ctx, link, "dir-lookup", {"name": "f"})
+            out["found"] = found.payload["ok"]
+            yield from rpc(ctx, link, "dir-delete", {"name": "f"})
+            gone = yield from rpc(ctx, link, "dir-lookup", {"name": "f"})
+            out["gone"] = not gone.payload["ok"]
+
+        run_script(system, addr, script, out)
+        assert out["inode"] == 1
+        assert out["found"] and out["gone"]
+
+    def test_extend_allocates_distinct_blocks(self):
+        system = make_bare_system()
+        addr = self.boot(system)
+        out = {}
+
+        def script(ctx, link, out):
+            a = yield from rpc(ctx, link, "dir-create", {"name": "a"})
+            b = yield from rpc(ctx, link, "dir-create", {"name": "b"})
+            ext_a = yield from rpc(ctx, link, "dir-extend",
+                                   {"inode": a.payload["inode"],
+                                    "size": 1_024})
+            ext_b = yield from rpc(ctx, link, "dir-extend",
+                                   {"inode": b.payload["inode"],
+                                    "size": 1_024})
+            out["a_blocks"] = ext_a.payload["blocks"]
+            out["b_blocks"] = ext_b.payload["blocks"]
+
+        run_script(system, addr, script, out)
+        assert len(out["a_blocks"]) == 2
+        assert not set(out["a_blocks"]) & set(out["b_blocks"])
+
+    def test_extend_never_shrinks(self):
+        system = make_bare_system()
+        addr = self.boot(system)
+        out = {}
+
+        def script(ctx, link, out):
+            created = yield from rpc(ctx, link, "dir-create", {"name": "f"})
+            inode = created.payload["inode"]
+            yield from rpc(ctx, link, "dir-extend",
+                           {"inode": inode, "size": 2_000})
+            small = yield from rpc(ctx, link, "dir-extend",
+                                   {"inode": inode, "size": 100})
+            out["size"] = small.payload["size"]
+
+        run_script(system, addr, script, out)
+        assert out["size"] == 2_000
+
+    def test_bad_inode_stat(self):
+        system = make_bare_system()
+        addr = self.boot(system)
+        out = {}
+
+        def script(ctx, link, out):
+            reply = yield from rpc(ctx, link, "dir-stat", {"inode": 77})
+            out["ok"] = reply.payload["ok"]
+
+        run_script(system, addr, script, out)
+        assert out["ok"] is False

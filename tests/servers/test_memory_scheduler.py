@@ -1,0 +1,61 @@
+"""Tests for the memory scheduler."""
+
+from repro.servers.common import rpc
+from tests.conftest import drain, make_system
+
+
+def ask(system, requests, machine=3):
+    """Run a client that performs the given (op, payload) requests."""
+    replies = []
+
+    def client(ctx):
+        for op, payload in requests:
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["memory_scheduler"], op, payload,
+            )
+            replies.append(reply.payload)
+        yield ctx.exit()
+
+    system.spawn(client, machine=machine, name="ms-client")
+    drain(system)
+    return replies
+
+
+class TestPlacement:
+    def test_round_robin_without_reports(self):
+        system = make_system()
+        replies = ask(system, [("place", {"bytes": 100})] * 4)
+        machines = [r["machine"] for r in replies]
+        assert machines == [0, 1, 2, 3]
+
+    def test_placement_prefers_most_free_memory(self):
+        system = make_system()
+        replies = ask(system, [
+            ("report-memory", {"machine": 0, "free": 100}),
+            ("report-memory", {"machine": 1, "free": 900}),
+            ("report-memory", {"machine": 2, "free": 500}),
+            ("place", {"bytes": 50}),
+        ])
+        assert replies[-1]["machine"] == 1
+
+    def test_placement_skips_machines_that_cannot_fit(self):
+        system = make_system()
+        replies = ask(system, [
+            ("report-memory", {"machine": 0, "free": 1_000}),
+            ("report-memory", {"machine": 1, "free": 100}),
+            ("place", {"bytes": 500}),
+        ])
+        assert replies[-1]["machine"] == 0
+
+    def test_status_returns_reports(self):
+        system = make_system()
+        replies = ask(system, [
+            ("report-memory", {"machine": 2, "free": 123}),
+            ("status", {}),
+        ])
+        assert replies[-1]["free_bytes"] == {2: 123}
+
+    def test_unknown_op_is_an_error_reply(self):
+        system = make_system()
+        (reply,) = ask(system, [("defragment", {})])
+        assert reply["ok"] is False

@@ -1,0 +1,161 @@
+"""Tests for the switchboard (paper §2.3)."""
+
+from repro.servers.common import lookup_service, rpc
+from repro.servers.switchboard import register_service
+from tests.conftest import drain, make_system
+
+
+class TestRegistration:
+    def test_register_then_lookup(self):
+        system = make_system()
+        log = []
+
+        def provider(ctx):
+            yield from register_service(ctx, "svc")
+            msg = yield ctx.receive()
+            log.append(msg.op)
+            yield ctx.exit()
+
+        def consumer(ctx):
+            yield ctx.sleep(2_000)
+            link = yield from lookup_service(ctx, "svc")
+            yield ctx.send(link, op="direct-hit")
+            yield ctx.exit()
+
+        system.spawn(provider, machine=1, name="provider")
+        system.spawn(consumer, machine=2, name="consumer")
+        drain(system)
+        assert log == ["direct-hit"]
+
+    def test_lookup_before_registration_parks_until_ready(self):
+        system = make_system()
+        log = []
+
+        def consumer(ctx):
+            link = yield from lookup_service(ctx, "late-svc")
+            yield ctx.send(link, op="found-you")
+            yield ctx.exit()
+
+        def provider(ctx):
+            yield ctx.sleep(10_000)  # register long after the lookup
+            yield from register_service(ctx, "late-svc")
+            msg = yield ctx.receive()
+            log.append(msg.op)
+            yield ctx.exit()
+
+        system.spawn(consumer, machine=2, name="consumer")
+        system.spawn(provider, machine=1, name="provider")
+        drain(system)
+        assert log == ["found-you"]
+
+    def test_nonwaiting_lookup_fails_fast(self):
+        system = make_system()
+        outcome = {}
+
+        def consumer(ctx):
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["switchboard"], "lookup",
+                payload={"name": "ghost", "wait": False},
+            )
+            outcome.update(reply.payload)
+            yield ctx.exit()
+
+        system.spawn(consumer, machine=0)
+        drain(system)
+        assert outcome["ok"] is False
+
+    def test_reregistration_replaces(self):
+        system = make_system()
+        log = []
+
+        def provider_a(ctx):
+            yield from register_service(ctx, "svc")
+            while True:
+                msg = yield ctx.receive()
+                if msg.op == "probe":
+                    log.append("a")
+
+        def provider_b(ctx):
+            yield ctx.sleep(3_000)
+            yield from register_service(ctx, "svc")
+            while True:
+                msg = yield ctx.receive()
+                if msg.op == "probe":
+                    log.append("b")
+
+        def consumer(ctx):
+            yield ctx.sleep(10_000)
+            link = yield from lookup_service(ctx, "svc")
+            yield ctx.send(link, op="probe")
+            yield ctx.exit()
+
+        system.spawn(provider_a, machine=1)
+        system.spawn(provider_b, machine=2)
+        system.spawn(consumer, machine=3)
+        drain(system)
+        assert log == ["b"]
+
+    def test_unregister(self):
+        system = make_system()
+        outcome = {}
+
+        def provider(ctx):
+            yield from register_service(ctx, "svc")
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["switchboard"], "unregister",
+                payload={"name": "svc"},
+            )
+            outcome["unregistered"] = reply.payload["ok"]
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["switchboard"], "lookup",
+                payload={"name": "svc", "wait": False},
+            )
+            outcome["lookup_ok"] = reply.payload["ok"]
+            yield ctx.exit()
+
+        system.spawn(provider, machine=1)
+        drain(system)
+        assert outcome == {"unregistered": True, "lookup_ok": False}
+
+    def test_list_names(self):
+        system = make_system()
+        outcome = {}
+
+        def provider(ctx):
+            yield from register_service(ctx, "alpha")
+            yield from register_service(ctx, "beta")
+            reply = yield from rpc(
+                ctx, ctx.bootstrap["switchboard"], "list", payload={},
+            )
+            outcome["names"] = reply.payload["names"]
+            yield ctx.exit()
+
+        system.spawn(provider, machine=1)
+        drain(system)
+        assert outcome["names"] == ["alpha", "beta"]
+
+    def test_lookup_survives_provider_migration(self):
+        """The switchboard's stored link keeps working after the provider
+        moves (context independence + forwarding)."""
+        system = make_system()
+        log = []
+
+        def provider(ctx):
+            yield from register_service(ctx, "movable")
+            while True:
+                msg = yield ctx.receive()
+                if msg.op == "probe":
+                    log.append(ctx.machine)
+
+        def consumer(ctx):
+            yield ctx.sleep(30_000)
+            link = yield from lookup_service(ctx, "movable")
+            yield ctx.send(link, op="probe")
+            yield ctx.exit()
+
+        provider_pid = system.spawn(provider, machine=2, name="provider")
+        system.spawn(consumer, machine=3, name="consumer")
+        system.run(until=10_000)
+        system.migrate(provider_pid, 0)
+        drain(system)
+        assert log == [0]

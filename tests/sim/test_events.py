@@ -1,0 +1,102 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.events import EventQueue
+
+
+def collect(queue):
+    order = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return order
+        event.fire()
+    return order
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(20, seen.append, ("b",))
+        queue.push(10, seen.append, ("a",))
+        queue.push(30, seen.append, ("c",))
+        collect(queue)
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_at_same_time(self):
+        queue = EventQueue()
+        seen = []
+        for tag in range(10):
+            queue.push(5, seen.append, (tag,))
+        collect(queue)
+        assert seen == list(range(10))
+
+    def test_interleaved_push_pop(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1, seen.append, (1,))
+        queue.pop().fire()
+        queue.push(2, seen.append, (2,))
+        queue.pop().fire()
+        assert seen == [1, 2]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        seen = []
+        event = queue.push(5, seen.append, ("x",))
+        event.cancel()
+        queue.note_cancelled()
+        assert queue.pop() is None
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(5, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_len_reflects_live_events(self):
+        queue = EventQueue()
+        queue.push(1, lambda: None)
+        event = queue.push(2, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+
+
+class TestPeek:
+    def test_peek_time_of_next_event(self):
+        queue = EventQueue()
+        queue.push(42, lambda: None)
+        assert queue.peek_time() == 42
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        early.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 2
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ClockError):
+            EventQueue().push(-1, lambda: None)
+
+    def test_args_are_passed(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(0, lambda a, b: seen.append((a, b)), (1, 2))
+        queue.pop().fire()
+        assert seen == [(1, 2)]

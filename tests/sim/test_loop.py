@@ -1,0 +1,138 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.sim.loop import EventLoop
+
+
+class TestScheduling:
+    def test_call_after_advances_clock(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_after(100, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [100]
+        assert loop.now == 100
+
+    def test_call_at_absolute(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(50, seen.append, "x")
+        loop.run()
+        assert seen == ["x"]
+
+    def test_call_soon_fires_at_current_instant(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_after(10, lambda: loop.call_soon(lambda: seen.append(loop.now)))
+        loop.run()
+        assert seen == [10]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.call_after(10, lambda: None)
+        loop.run()
+        with pytest.raises(ClockError):
+            loop.call_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            EventLoop().call_after(-1, lambda: None)
+
+    def test_cascading_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 5:
+                loop.call_after(10, chain, n + 1)
+
+        loop.call_soon(chain, 0)
+        loop.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert loop.now == 50
+
+
+class TestRun:
+    def test_run_returns_events_fired(self):
+        loop = EventLoop()
+        for i in range(7):
+            loop.call_after(i, lambda: None)
+        assert loop.run() == 7
+
+    def test_max_events_bound(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.call_after(i, lambda: None)
+        assert loop.run(max_events=3) == 3
+        assert loop.pending_events == 7
+
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_after(10, seen.append, "early")
+        loop.call_after(100, seen.append, "late")
+        loop.run_until(50)
+        assert seen == ["early"]
+        assert loop.now == 50
+        loop.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_includes_deadline_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_after(50, seen.append, "at")
+        loop.run_until(50)
+        assert seen == ["at"]
+
+    def test_run_until_past_deadline_rejected(self):
+        loop = EventLoop()
+        loop.run_until(100)
+        with pytest.raises(ClockError):
+            loop.run_until(50)
+
+    def test_reentrant_run_rejected(self):
+        loop = EventLoop()
+        failures = []
+
+        def reenter():
+            try:
+                loop.run()
+            except SimulationError:
+                failures.append(True)
+
+        loop.call_soon(reenter)
+        loop.run()
+        assert failures == [True]
+
+    def test_cancel_via_loop(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.call_after(10, seen.append, "x")
+        loop.cancel(event)
+        loop.cancel(event)  # idempotent
+        loop.run()
+        assert seen == []
+        assert loop.pending_events == 0
+
+    def test_events_fired_counter(self):
+        loop = EventLoop()
+        loop.call_after(1, lambda: None)
+        loop.call_after(2, lambda: None)
+        loop.run()
+        assert loop.events_fired == 2
+
+
+class TestDeterminism:
+    def test_identical_runs_fire_in_identical_order(self):
+        def trace_run():
+            loop = EventLoop()
+            seen = []
+            for i in range(20):
+                loop.call_after(i % 3, seen.append, i)
+            loop.run()
+            return seen
+
+        assert trace_run() == trace_run()

@@ -1,0 +1,91 @@
+"""Property-based tests for the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RandomStreams
+
+
+class TestEventQueueProperties:
+    @given(times=st.lists(st.integers(min_value=0, max_value=10_000),
+                          max_size=60))
+    def test_pop_order_is_time_then_fifo(self, times):
+        queue = EventQueue()
+        for index, time in enumerate(times):
+            queue.push(time, lambda: None, (index,))
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append((event.time, event.seq))
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+    @given(
+        times=st.lists(st.integers(min_value=0, max_value=1_000),
+                       min_size=1, max_size=40),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40),
+    )
+    def test_cancelled_events_never_fire(self, times, cancel_mask):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in times]
+        padded_mask = (cancel_mask * len(events))[:len(events)]
+        expected = 0
+        for event, cancel in zip(events, padded_mask):
+            if cancel:
+                event.cancel()
+                queue.note_cancelled()
+            else:
+                expected += 1
+        fired = 0
+        while queue.pop() is not None:
+            fired += 1
+        assert fired == expected
+
+
+class TestLoopProperties:
+    @given(delays=st.lists(st.integers(min_value=0, max_value=5_000),
+                           max_size=40))
+    def test_clock_monotone_through_any_schedule(self, delays):
+        loop = EventLoop()
+        observed = []
+        for delay in delays:
+            loop.call_after(delay, lambda: observed.append(loop.now))
+        loop.run()
+        assert observed == sorted(observed)
+        assert loop.events_fired == len(delays)
+
+    @given(
+        delays=st.lists(st.integers(min_value=0, max_value=5_000),
+                        min_size=1, max_size=30),
+        deadline=st.integers(min_value=0, max_value=5_000),
+    )
+    def test_run_until_partitions_events_exactly(self, delays, deadline):
+        loop = EventLoop()
+        fired = []
+        for delay in delays:
+            loop.call_after(delay, fired.append, delay)
+        loop.run_until(deadline)
+        assert sorted(fired) == sorted(d for d in delays if d <= deadline)
+        loop.run()
+        assert sorted(fired) == sorted(delays)
+
+
+class TestRngProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32),
+           names=st.lists(st.text(min_size=1, max_size=8), min_size=1,
+                          max_size=6, unique=True))
+    def test_streams_reproducible_regardless_of_order(self, seed, names):
+        forward = RandomStreams(seed)
+        values_forward = {
+            name: forward.stream(name).random() for name in names
+        }
+        backward = RandomStreams(seed)
+        values_backward = {
+            name: backward.stream(name).random()
+            for name in reversed(names)
+        }
+        assert values_forward == values_backward

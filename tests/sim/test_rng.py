@@ -1,0 +1,49 @@
+"""Tests for named deterministic random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+class TestStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_same_seed_and_name_reproduce_sequence(self):
+        first = RandomStreams(7).stream("channel").random()
+        second = RandomStreams(7).stream("channel").random()
+        assert first == second
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_creation_order_does_not_matter(self):
+        forward = RandomStreams(3)
+        forward.stream("a")
+        a_then = forward.stream("b").random()
+
+        backward = RandomStreams(3)
+        backward.stream("b")
+        assert backward.stream("b").random() == a_then
+
+    def test_fork_is_independent_of_parent(self):
+        parent = RandomStreams(5)
+        child = parent.fork("child")
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_fork_reproducible(self):
+        a = RandomStreams(5).fork("c").stream("x").random()
+        b = RandomStreams(5).fork("c").stream("x").random()
+        assert a == b
+
+    def test_repr_lists_streams(self):
+        streams = RandomStreams(0)
+        streams.stream("zeta")
+        assert "zeta" in repr(streams)

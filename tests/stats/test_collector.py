@@ -1,0 +1,60 @@
+"""Tests for the system-wide report collector."""
+
+from repro.stats.collector import collect_report
+from tests.conftest import drain, make_bare_system
+
+
+def parked(ctx):
+    while True:
+        yield ctx.receive()
+
+
+class TestCollector:
+    def test_fresh_system_report_is_zeroed(self):
+        system = make_bare_system()
+        report = collect_report(system)
+        assert report.machines == 3
+        assert report.processes_alive == 0
+        assert report.migrations_completed == 0
+        assert report.forwarding_entries == 0
+
+    def test_report_after_migration(self):
+        system = make_bare_system()
+        pid = system.spawn(parked, machine=0)
+        system.migrate(pid, 1)
+        drain(system)
+        report = collect_report(system)
+        assert report.processes_alive == 1
+        assert report.migrations_completed == 1
+        assert report.admin_messages == 9
+        assert report.admin_bytes == 74
+        assert report.state_bytes_moved > 250 + 440
+        assert report.forwarding_entries == 1
+        assert report.forwarding_residual_bytes == 8
+        assert report.total_downtime > 0
+        assert report.sends_by_category.get("admin") == 9
+
+    def test_report_counts_refusals_separately(self):
+        system = make_bare_system()
+        system.kernel(1).config.accept_migration = lambda p, s: False
+        pid = system.spawn(parked, machine=0)
+        system.migrate(pid, 1)
+        drain(system)
+        report = collect_report(system)
+        assert report.migrations_completed == 0
+        assert report.migrations_refused == 1
+
+    def test_lines_render_every_headline_number(self):
+        system = make_bare_system()
+        pid = system.spawn(parked, machine=0)
+        system.migrate(pid, 1)
+        drain(system)
+        text = "\n".join(collect_report(system).lines())
+        assert "migrations: 1 completed" in text
+        assert "9 messages, 74 payload bytes" in text
+        assert "1 live entries (8 bytes)" in text
+
+    def test_per_machine_load_present(self):
+        system = make_bare_system(machines=2)
+        report = collect_report(system)
+        assert set(report.per_machine_load) == {0, 1}

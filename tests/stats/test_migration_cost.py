@@ -1,0 +1,52 @@
+"""Tests for the migration cost ledger."""
+
+from repro.kernel.ids import ProcessId
+from repro.stats.migration_cost import SEGMENTS, MigrationCostRecord
+
+
+def make_record(**kwargs):
+    defaults = dict(
+        pid=ProcessId(0, 1), source=0, dest=1, started_at=100,
+    )
+    defaults.update(kwargs)
+    return MigrationCostRecord(**defaults)
+
+
+class TestLedger:
+    def test_segments_are_the_three_data_moves(self):
+        assert SEGMENTS == ("resident", "swappable", "program")
+
+    def test_note_admin_accumulates(self):
+        record = make_record()
+        record.note_admin("a", 6)
+        record.note_admin("b", 12)
+        assert record.admin_message_count == 2
+        assert record.admin_bytes == 18
+
+    def test_state_transfer_bytes(self):
+        record = make_record()
+        record.segment_bytes = {"resident": 250, "swappable": 600,
+                                "program": 10_000}
+        assert record.state_transfer_bytes == 10_850
+
+    def test_downtime_and_duration(self):
+        record = make_record(started_at=100)
+        assert record.downtime is None
+        assert record.duration is None
+        record.restarted_at = 600
+        record.completed_at = 700
+        assert record.downtime == 500
+        assert record.duration == 600
+
+    def test_summary_is_flat_and_complete(self):
+        record = make_record()
+        record.success = True
+        record.segment_bytes = {"resident": 250}
+        summary = record.summary()
+        assert summary["pid"] == "p0.1"
+        assert summary["resident_bytes"] == 250
+        assert summary["swappable_bytes"] == 0
+        assert set(summary) >= {
+            "admin_messages", "admin_bytes", "pending_forwarded",
+            "downtime_us", "duration_us", "datamove_chunks",
+        }

@@ -1,0 +1,54 @@
+"""Tests for the shared-file reader workload."""
+
+from repro.servers.filesystem import FileClient
+from repro.workloads.file_clients import file_reader
+from tests.conftest import drain, make_system
+
+
+class TestFileReader:
+    def test_readers_share_a_file(self, board):
+        system = make_system()
+
+        def author(ctx):
+            fs = FileClient(ctx)
+            yield from fs.create("shared.dat")
+            handle = yield from fs.open("shared.dat")
+            yield from fs.write(handle, 0, b"R" * 512)
+            yield from fs.close(handle)
+            yield ctx.exit()
+
+        system.spawn(author, machine=0, name="author")
+        drain(system)
+        for machine in (2, 3):
+            system.spawn(
+                lambda ctx: file_reader(ctx, reads=4, board=board),
+                machine=machine, name=f"reader-{machine}",
+            )
+        drain(system)
+        results = board.get("file-reader")
+        assert len(results) == 2
+        for result in results:
+            assert len(result["latencies"]) == 4
+            assert all(latency > 0 for latency in result["latencies"])
+
+    def test_cache_makes_repeat_reads_cheaper_or_equal(self, board):
+        system = make_system()
+
+        def author(ctx):
+            fs = FileClient(ctx)
+            yield from fs.create("shared.dat")
+            handle = yield from fs.open("shared.dat")
+            yield from fs.write(handle, 0, b"z" * 512)
+            yield ctx.exit()
+
+        system.spawn(author, machine=0, name="author")
+        drain(system)
+        system.spawn(
+            lambda ctx: file_reader(ctx, reads=5, board=board),
+            machine=2, name="reader",
+        )
+        drain(system)
+        latencies = board.only("file-reader")["latencies"]
+        # First read may seek the disk; later ones come from the buffer
+        # cache and are no slower.
+        assert min(latencies[1:]) <= latencies[0]
