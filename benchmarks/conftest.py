@@ -8,6 +8,7 @@ whole §6 cost analysis plus the behaviours of Figures 3-1, 4-1 and 5-1.
 
 from __future__ import annotations
 
+import json
 import re
 from pathlib import Path
 from typing import Any, Iterable
@@ -16,6 +17,9 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.core.system import System
+
+#: schema tag for the machine-readable benchmark artifacts
+BENCH_SCHEMA = "repro-bench/v1"
 
 
 def make_system(machines: int = 4, **overrides) -> System:
@@ -67,6 +71,31 @@ def print_table(
     RESULTS_DIR.mkdir(exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
     (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def write_bench_artifact(
+    name: str,
+    metrics: dict[str, Any],
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Persist one experiment's headline numbers as ``BENCH_<name>.json``.
+
+    The artifact is the machine-readable twin of :func:`print_table`:
+    a flat ``metrics`` mapping of metric name to number, so CI can diff
+    runs against the committed baselines in ``benchmarks/baselines/``
+    (see ``scripts/check_bench_regression.py``).
+    """
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "metrics": metrics,
+    }
+    if meta:
+        payload["meta"] = meta
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture

@@ -9,7 +9,12 @@ process migration is often to improve message performance"); with them,
 the penalty is paid once per link.
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.kernel.ids import ProcessAddress
 
@@ -78,6 +83,22 @@ def test_a1_link_update_ablation(bench_once):
         ],
         notes=f"{ROUNDS} requests on one stale link; without §5 every "
               f"request forwards forever",
+    )
+
+    write_bench_artifact(
+        "a1_link_update_ablation",
+        {
+            "forwards_with_updates": with_updates["forwards"],
+            "forwards_without_updates": without_updates["forwards"],
+            "steady_latency_us_with_updates": round(
+                with_updates["steady_latency"]
+            ),
+            "steady_latency_us_without_updates": round(
+                without_updates["steady_latency"]
+            ),
+        },
+        meta={"paper": "§5: without link updates every request on a "
+                       "stale link forwards forever"},
     )
 
     # With updates: bounded forwards (paper: 1 typical, 2 worst).

@@ -10,7 +10,12 @@ imbalance requirement + per-process cooldown).  The trigger-happy variant
 must migrate far more often without commensurate benefit.
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.policy.load_balancer import ThresholdLoadBalancer
 from repro.workloads.compute import compute_bound
@@ -81,6 +86,17 @@ def test_a2_hysteresis_ablation(bench_once):
         ],
         notes="eager = threshold 1, no sustain, no cooldown; hysteresis "
               "= the paper's requested damping",
+    )
+
+    metrics = {}
+    for r in (static, eager, tuned):
+        metrics[f"makespan_us_{r['mode']}"] = r["makespan"]
+        metrics[f"migrations_{r['mode']}"] = r["migrations"]
+        metrics[f"state_bytes_{r['mode']}"] = r["state_bytes"]
+    write_bench_artifact(
+        "a2_hysteresis_ablation", metrics,
+        meta={"paper": "§3.1: hysteresis keeps migration costs from "
+                       "exceeding the gains"},
     )
 
     # The tuned balancer beats static placement.

@@ -9,7 +9,12 @@ and shows the pending-forward count and the extra cost scaling linearly —
 while the administrative message count stays pinned at nine.
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.kernel.ids import ProcessAddress
 from repro.kernel.messages import MessageKind
@@ -65,6 +70,18 @@ def test_e10_pending_queue_cost(bench_once):
         rows,
         notes="pending messages ride the normal inter-machine path; "
               "the 9-message administrative cost is flat",
+    )
+
+    metrics = {"admin_messages": records[0].admin_message_count}
+    for depth, record in zip(QUEUE_DEPTHS, records):
+        metrics[f"duration_us_depth{depth}"] = record.duration
+        metrics[f"pending_forwarded_depth{depth}"] = (
+            record.pending_forwarded
+        )
+    write_bench_artifact(
+        "e10_queue_depth", metrics,
+        meta={"paper": "§6: pending messages ride the normal "
+                       "inter-machine path; admin cost stays 9 messages"},
     )
 
     for depth, record in zip(QUEUE_DEPTHS, records):

@@ -11,7 +11,12 @@ Paper claims reproduced here:
   the size of the system information."
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.kernel.ids import ProcessAddress, ProcessId
 from repro.kernel.memory import MemoryImage
@@ -73,6 +78,27 @@ def test_e1_migration_cost_breakdown(bench_once):
         rows,
         notes="paper: 9 admin msgs of 6-12B; resident ~250B; "
               "swappable ~600B; program dominates",
+    )
+
+    metrics = {
+        "admin_messages": records[0].admin_message_count,
+        "admin_bytes": records[0].admin_bytes,
+        "admin_message_min_bytes": min(
+            size for _, size in records[0].admin_messages
+        ),
+        "admin_message_max_bytes": max(
+            size for _, size in records[0].admin_messages
+        ),
+        "resident_bytes": records[0].segment_bytes["resident"],
+        "swappable_bytes": records[0].segment_bytes["swappable"],
+    }
+    for size, record in zip(PROGRAM_SIZES, records):
+        metrics[f"downtime_us_{size >> 10}kb"] = record.downtime
+        metrics[f"chunks_{size >> 10}kb"] = record.datamove_chunks
+    write_bench_artifact(
+        "e1_migration_cost", metrics,
+        meta={"paper": "9 admin msgs of 6-12B; resident ~250B; "
+                       "swappable ~600B"},
     )
 
     for record in records:

@@ -11,7 +11,12 @@ Paper claims reproduced here:
   Typically, the link is updated after the first message."
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.kernel.ids import ProcessAddress
 
@@ -87,6 +92,21 @@ def test_e2_incremental_cost(bench_once):
               f"messages per forward, link typically updated after 1 msg",
     )
 
+    forwarded_round_count = sum(1 for t in transcript if t["fwd"] > 0)
+    write_bench_artifact(
+        "e2_incremental_cost",
+        {
+            "forwards": counters["forwards"],
+            "updates_sent": counters["updates_sent"],
+            "updates_applied": counters["updates_applied"],
+            "links_retargeted": counters["links_retargeted"],
+            "forwarded_rounds": forwarded_round_count,
+            "final_round_forward_hops": transcript[-1]["fwd"],
+        },
+        meta={"paper": "2 extra messages per forward; link typically "
+                       "updated after the first message"},
+    )
+
     # Exactly two extra messages per forwarding-address hit: the
     # forwarded copy (counted as the hit itself) and one update message.
     assert counters["updates_sent"] == counters["forwards"]
@@ -160,6 +180,16 @@ def test_e2_back_to_back_messages_show_worst_case(bench_once):
         [[i, f] for i, f in enumerate(fwd_flags)],
         notes="paper: worst case observed was two messages sent over a "
               "link before it was updated",
+    )
+    write_bench_artifact(
+        "e2_pipelined_worst_case",
+        {
+            "forwarded_messages": len(forwarded),
+            "total_messages": len(fwd_flags),
+            "max_forward_hops": max(fwd_flags),
+        },
+        meta={"paper": "worst case observed was two messages sent over "
+                       "a link before it was updated"},
     )
     # Both pipelined messages were already enroute: exactly the paper's
     # worst case of two forwarded messages on one link.

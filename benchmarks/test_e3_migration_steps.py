@@ -7,7 +7,12 @@ destination processor kernel", step 6-7 by the source, step 8 by the
 destination).
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 #: step trace event -> (paper step number, controlling side)
 STEP_CONTROL = {
@@ -54,6 +59,21 @@ def test_e3_step_timeline(bench_once):
         rows,
         notes=f"downtime={record.downtime}us "
               f"(freeze to restart), total={record.duration}us",
+    )
+
+    first_seen: dict[int, int] = {}
+    for time, event in steps:
+        first_seen.setdefault(STEP_CONTROL[event][0], time)
+    metrics = {
+        f"t_step{number}_us": time
+        for number, time in sorted(first_seen.items())
+    }
+    metrics["downtime_us"] = record.downtime
+    metrics["duration_us"] = record.duration
+    write_bench_artifact(
+        "e3_migration_steps", metrics,
+        meta={"paper": "Figure 3-1: 8-step protocol, downtime spans "
+                       "freeze to restart"},
     )
 
     # Step numbers never decrease (step 4 fires twice: resident +

@@ -11,7 +11,12 @@ can defeat possible performance gains and, in many cases, degrade
 performance" — the latency column quantifies exactly that degradation.
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.kernel.ids import ProcessAddress
 from repro.kernel.messages import MessageKind
@@ -64,6 +69,17 @@ def test_e4_forwarding_latency(bench_once):
          for s in series],
         notes="each hop re-routes the message and leaves an 8-byte "
               "forwarding address on the abandoned machine",
+    )
+
+    metrics = {}
+    for s in series:
+        metrics[f"latency_us_chain{s['chain']}"] = s["latency"]
+        metrics[f"hops_chain{s['chain']}"] = s["hops"]
+        metrics[f"residual_bytes_chain{s['chain']}"] = s["residue_bytes"]
+    write_bench_artifact(
+        "e4_forwarding_latency", metrics,
+        meta={"paper": "Figure 4-1: each hop re-routes the message and "
+                       "leaves an 8-byte forwarding address"},
     )
 
     # Direct delivery has zero hops; each migration adds one.

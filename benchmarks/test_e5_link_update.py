@@ -7,7 +7,12 @@ total forwarded messages scaling with the number of *stale link holders*,
 not with the amount of traffic — the whole point of lazy link updating.
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.kernel.ids import ProcessAddress
 
@@ -76,6 +81,16 @@ def test_e5_link_update_convergence(bench_once):
          for s in series],
         notes="paper: typically one forward per stale link, worst case "
               "two; traffic after convergence is direct",
+    )
+
+    metrics = {}
+    for s in series:
+        metrics[f"forwards_clients{s['clients']}"] = s["forwards"]
+        metrics[f"retargeted_clients{s['clients']}"] = s["retargeted"]
+    write_bench_artifact(
+        "e5_link_update_convergence", metrics,
+        meta={"paper": "Figure 5-1: typically one forward per stale "
+                       "link, worst case two"},
     )
 
     for s in series:

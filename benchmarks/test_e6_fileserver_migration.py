@@ -11,7 +11,12 @@ is corrupted, and the throughput timeline shows the freeze window and the
 recovery — the paper's transparency claim, quantified.
 """
 
-from conftest import drain, make_system, print_table
+from conftest import (
+    drain,
+    make_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.workloads.file_clients import file_io_client
 from repro.workloads.results import ResultsBoard
@@ -70,6 +75,19 @@ def test_e6_fileserver_migration_under_io(bench_once):
               f"{CLIENTS} clients x {OPERATIONS} verified ops each",
     )
 
+    write_bench_artifact(
+        "e6_fileserver_migration",
+        {
+            "completions": len(completions),
+            "clients": CLIENTS,
+            "operations_per_client": OPERATIONS,
+            "errors": sum(len(r["errors"]) for r in results),
+            "last_completion_us": until,
+        },
+        meta={"paper": "§2.3: file system migrates while user processes "
+                       "perform I/O; nothing is lost or corrupted"},
+    )
+
     # The paper's transparency claim: no lost or corrupted operations.
     assert len(results) == CLIENTS
     for result in results:
@@ -100,6 +118,15 @@ def test_e6_latency_dip_and_recovery(bench_once):
         [["no migration", round(still)], ["fs migrated", round(moved)]],
         notes="migration costs a bounded latency perturbation, not "
               "correctness",
+    )
+    write_bench_artifact(
+        "e6_latency_dip",
+        {
+            "mean_latency_us_still": round(still),
+            "mean_latency_us_migrated": round(moved),
+        },
+        meta={"paper": "migration costs a bounded latency perturbation, "
+                       "not correctness"},
     )
     # Migration may slow things, but boundedly (no retries/timeouts).
     assert moved < still * 3

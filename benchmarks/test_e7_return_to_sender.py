@@ -10,9 +10,13 @@ Both designs run the same stale-link workload; the table compares the
 extra machinery each needs per stale message.
 """
 
-from conftest import drain, make_system, print_table
+from conftest import (
+    drain,
+    make_system,
+    print_table,
+    write_bench_artifact,
+)
 
-from repro.kernel.ids import ProcessAddress
 from repro.kernel.kernel import UndeliverablePolicy
 from repro.workloads.pingpong import echo_server, pinger
 from repro.workloads.results import ResultsBoard
@@ -85,6 +89,24 @@ def test_e7_forwarding_vs_return_to_sender(bench_once):
         ],
         notes="paper: return-to-sender drags more of the system into "
               "migration awareness; forwarding costs 8B of residue",
+    )
+
+    write_bench_artifact(
+        "e7_return_to_sender",
+        {
+            "fwd_nacks": forwarding["nacks"],
+            "fwd_pm_lookups": forwarding["locates"],
+            "fwd_link_updates": forwarding["linkupdates"],
+            "fwd_residual_bytes": forwarding["residual_bytes"],
+            "fwd_worst_latency_us": worst(forwarding["latencies"]),
+            "rts_nacks": rts["nacks"],
+            "rts_pm_lookups": rts["locates"],
+            "rts_link_updates": rts["linkupdates"],
+            "rts_residual_bytes": rts["residual_bytes"],
+            "rts_worst_latency_us": worst(rts["latencies"]),
+        },
+        meta={"paper": "§4: return-to-sender drags more of the system "
+                       "into migration awareness"},
     )
 
     # Both are *correct* (eventual delivery either way).

@@ -13,7 +13,12 @@ senders at every age of link, and then kills the process and verifies the
 backward-pointer garbage collection reclaims every entry.
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.kernel.ids import ProcessAddress
 from repro.kernel.messages import MessageKind
@@ -74,6 +79,21 @@ def test_e8_chains_and_garbage_collection(bench_once):
          for r in rows],
         notes=f"after process death: entries={after_death} "
               f"(collected {collected} via backward pointers)",
+    )
+
+    metrics = {
+        "entries_after_death": after_death,
+        "entries_collected": collected,
+    }
+    for r in rows:
+        metrics[f"hops_after_{r['migrations']}_migrations"] = r["hops"]
+        metrics[f"residual_bytes_after_{r['migrations']}_migrations"] = (
+            r["residual_bytes"]
+        )
+    write_bench_artifact(
+        "e8_forwarding_chains", metrics,
+        meta={"paper": "§4: 8-byte forwarding addresses, collected via "
+                       "backward pointers when the process dies"},
     )
 
     for r in rows:

@@ -12,7 +12,12 @@ strategy, hysteresis).  The balanced run must win on makespan and mean
 completion time by enough to cover migration costs.
 """
 
-from conftest import drain, make_bare_system, print_table
+from conftest import (
+    drain,
+    make_bare_system,
+    print_table,
+    write_bench_artifact,
+)
 
 from repro.policy.load_balancer import ThresholdLoadBalancer
 from repro.workloads.compute import compute_bound
@@ -79,6 +84,22 @@ def test_e9_load_balancing_beats_static(bench_once):
         ],
         notes=f"{JOBS} x {WORK}us CPU jobs all arriving on machine 0 "
               f"of {MACHINES}",
+    )
+
+    write_bench_artifact(
+        "e9_load_balancing",
+        {
+            "static_makespan_us": static["makespan"],
+            "static_mean_completion_us": round(static["mean_completion"]),
+            "balanced_makespan_us": balanced["makespan"],
+            "balanced_mean_completion_us": round(
+                balanced["mean_completion"]
+            ),
+            "balanced_jobs_moved": balanced["jobs_moved"],
+            "balanced_migrations": balanced["migrations"],
+        },
+        meta={"paper": "§1: better overall throughput in spite of the "
+                       "communication and computation of moving"},
     )
 
     # Static: everything serialises on machine 0.

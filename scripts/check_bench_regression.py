@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts against committed baselines.
+
+Every benchmark writes a ``repro-bench/v1`` artifact (see
+``benchmarks/conftest.py:write_bench_artifact``) with a flat mapping of
+metric name to number.  This script diffs a results directory against
+``benchmarks/baselines/`` and fails (exit 1) when any metric drifts by
+more than the tolerance.  The simulation is deterministic, so on an
+unchanged tree every diff is exactly zero; the tolerance only absorbs
+intentional small shifts (e.g. a cost-model tweak) without masking real
+regressions.
+
+Usage:
+
+    python scripts/check_bench_regression.py \
+        [--results benchmarks/results] \
+        [--baselines benchmarks/baselines] \
+        [--tolerance 0.2]
+
+Exit codes: 0 ok, 1 regression or malformed artifact, 2 usage error
+(e.g. no artifacts found where they were expected).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench/v1"
+DEFAULT_TOLERANCE = 0.2
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_artifact(path: Path) -> dict:
+    """Read one artifact, validating the schema tag and metric types."""
+    document = json.loads(path.read_text())
+    if document.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path.name}: expected schema {SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{path.name}: missing or empty 'metrics'")
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"{path.name}: metric {key!r} is not a number: {value!r}"
+            )
+    return document
+
+
+def compare_metrics(
+    name: str,
+    current: dict[str, float],
+    baseline: dict[str, float],
+    tolerance: float,
+) -> list[str]:
+    """Return a list of human-readable problems (empty when clean)."""
+    problems = []
+    for key in sorted(baseline):
+        if key not in current:
+            problems.append(f"{name}: metric {key!r} disappeared")
+            continue
+        base, now = baseline[key], current[key]
+        if base == 0:
+            # No scale to be relative to: require an exact match.
+            if now != 0:
+                problems.append(
+                    f"{name}: {key} was 0, now {now} (exact match "
+                    f"required for zero baselines)"
+                )
+            continue
+        drift = abs(now - base) / abs(base)
+        if drift > tolerance:
+            problems.append(
+                f"{name}: {key} drifted {drift:+.1%} "
+                f"({base} -> {now}, tolerance {tolerance:.0%})"
+            )
+    for key in sorted(set(current) - set(baseline)):
+        # New metrics are fine (a new benchmark facet), just worth noting.
+        print(f"note: {name}: new metric {key!r} has no baseline")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=Path,
+        default=REPO_ROOT / "benchmarks" / "results",
+        help="directory holding freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baselines", type=Path,
+        default=REPO_ROOT / "benchmarks" / "baselines",
+        help="directory holding committed baseline BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="max allowed relative drift per metric (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tolerance < 0:
+        parser.error("tolerance must be non-negative")
+
+    baseline_paths = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_paths:
+        print(f"error: no baselines in {args.baselines}", file=sys.stderr)
+        return 2
+    if not args.results.is_dir():
+        print(f"error: no results directory {args.results}",
+              file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    compared = 0
+    for baseline_path in baseline_paths:
+        result_path = args.results / baseline_path.name
+        if not result_path.exists():
+            problems.append(
+                f"{baseline_path.name}: artifact missing from "
+                f"{args.results} (benchmark not run?)"
+            )
+            continue
+        try:
+            baseline = load_artifact(baseline_path)
+            current = load_artifact(result_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            problems.append(str(exc))
+            continue
+        problems.extend(compare_metrics(
+            baseline["name"], current["metrics"], baseline["metrics"],
+            args.tolerance,
+        ))
+        compared += 1
+
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) across "
+              f"{len(baseline_paths)} baseline(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"OK: {compared} artifact(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

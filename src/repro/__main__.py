@@ -6,16 +6,21 @@ Commands:
 - ``migrate``     — migrate one process and print the §6 cost ledger;
 - ``shell "..."`` — execute command-interpreter lines against a fresh
                     system (e.g. ``python -m repro shell "run compute" ps``);
-- ``report``      — run a mixed workload and print the system report.
+- ``report``      — run a mixed workload and print the system report
+                    (``--json`` for a machine-readable metrics snapshot);
+- ``trace``       — run a migration scenario and export a Chrome
+                    trace-event JSON (``--out``) loadable in Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.config import SystemConfig
 from repro.core.system import System
+from repro.obs.exporters import metrics_snapshot_dict, write_chrome_trace
 from repro.servers.common import rpc
 from repro.stats.collector import collect_report
 
@@ -87,8 +92,69 @@ def _cmd_report(args: argparse.Namespace) -> int:
     ]
     system.loop.call_at(10_000, lambda: system.migrate(jobs[0], 3))
     system.run(until=2_000_000)
-    for line in collect_report(system).lines():
+    report = collect_report(system)
+    if args.json:
+        document = metrics_snapshot_dict(
+            system.metrics.snapshot(),
+            now=system.loop.now,
+            extra={"report": report.to_dict()},
+        )
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for line in report.lines():
         print(line)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one migration (plus a stale-link probe) and export the trace."""
+    from repro.kernel.ids import ProcessAddress
+    from repro.kernel.messages import MessageKind
+
+    system = System(SystemConfig(machines=args.machines,
+                                 boot_servers=False))
+
+    def parked(ctx):
+        while True:
+            yield ctx.receive()
+
+    pid = system.spawn(parked, machine=args.source, name="subject")
+    ticket = system.migrate(pid, args.dest)
+    system.run(max_events=1_000_000)
+    if not ticket.done or not ticket.success:
+        print("migration did not complete", file=sys.stderr)
+        return 1
+    # A probe on the stale address exercises the forwarding path, so the
+    # exported span carries FORWARD_HOP child events (Figure 4-1).
+    probe_from = next(
+        (m for m in range(args.machines)
+         if m not in (args.source, args.dest)),
+        None,
+    )
+    if probe_from is not None:
+        system.kernel(probe_from).send_to_process(
+            ProcessAddress(pid, args.source), "probe", {},
+            kind=MessageKind.USER,
+        )
+        system.run(max_events=1_000_000)
+
+    span_records = ("migrate", "forward", "linkupd")
+    path = write_chrome_trace(
+        args.out,
+        system.spans.all_spans(),
+        records=(
+            r for r in system.tracer if r.category not in span_records
+        ),
+        metadata={"machines": args.machines, "pid": str(pid)},
+    )
+    for span in system.spans.all_spans():
+        print(
+            f"{span.name}: {span.status}, steps {span.steps()}, "
+            f"{len(span.child_events())} child events, "
+            f"duration {span.duration}us"
+        )
+    print(f"wrote Chrome trace to {path} "
+          f"(load it at https://ui.perfetto.dev)")
     return 0
 
 
@@ -112,7 +178,23 @@ def main(argv: list[str] | None = None) -> int:
 
     report = sub.add_parser("report", help="run a workload, print a report")
     report.add_argument("--machines", type=int, default=4)
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable metrics snapshot instead of text",
+    )
     report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser(
+        "trace", help="run a migration, export Chrome trace-event JSON",
+    )
+    trace.add_argument("--machines", type=int, default=4)
+    trace.add_argument("--source", type=int, default=0)
+    trace.add_argument("--dest", type=int, default=2)
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="path for the trace-event JSON (default: trace.json)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

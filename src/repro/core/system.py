@@ -31,6 +31,8 @@ from repro.kernel.memory import MemoryImage
 from repro.kernel.process_state import ProcessState
 from repro.net.network import Network
 from repro.net.topology import MachineId, Topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanCollector
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
@@ -69,6 +71,11 @@ class System:
             enabled_categories=self.config.trace_categories,
         )
         self.rngs = RandomStreams(self.config.seed)
+        #: the system-wide metrics registry every component publishes into
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(self._publish_sim_metrics)
+        #: migration spans assembled live from the tracer stream
+        self.spans = SpanCollector(self.tracer)
         self.topology = self._build_topology()
         self.network = Network(
             self.loop,
@@ -77,6 +84,7 @@ class System:
             rngs=self.rngs,
             faults=self.config.faults,
             rto=self.config.rto,
+            metrics=self.metrics,
         )
         #: shared by every kernel; server boots add entries as they come up
         self.well_known: dict[str, ProcessAddress] = {}
@@ -88,6 +96,7 @@ class System:
                 self.tracer,
                 config=self._kernel_config(),
                 well_known=self.well_known,
+                metrics=self.metrics,
             )
             for machine in self.topology.machines
         ]
@@ -221,6 +230,14 @@ class System:
     # ------------------------------------------------------------------
     # Public operations
     # ------------------------------------------------------------------
+
+    def _publish_sim_metrics(self, registry: MetricsRegistry) -> None:
+        """Registry collector for event-loop and tracer level facts."""
+        registry.gauge("sim.now_us").set(self.loop.now)
+        registry.counter("sim.events_fired").set_total(self.loop.events_fired)
+        registry.gauge("sim.trace_records").set(len(self.tracer))
+        registry.counter("sim.trace_dropped").set_total(self.tracer.dropped)
+        registry.gauge("sim.migration_spans").set(len(self.spans))
 
     def kernel(self, machine: MachineId) -> Kernel:
         """The kernel running on *machine*."""

@@ -85,6 +85,7 @@ from repro.sim.trace import Tracer
 if TYPE_CHECKING:  # pragma: no cover - circular-import guard
     from repro.kernel.datamove import TransferManager
     from repro.kernel.migration import MigrationEngine
+    from repro.obs.metrics import MetricsRegistry
 
 ProgramFactory = Callable[[ProcessContext], Any]
 
@@ -145,6 +146,24 @@ class KernelStats:
         """Increment an ad-hoc named counter."""
         self.extra_by_op[op] = self.extra_by_op.get(op, 0) + 1
 
+    def publish(self, registry: "MetricsRegistry", machine: MachineId) -> None:
+        """Mirror every counter into a metrics registry (as a collector),
+        labelled by machine so per-machine series aggregate system-wide."""
+        for name in (
+            "messages_sent_local", "messages_sent_remote",
+            "messages_delivered", "messages_forwarded",
+            "link_updates_sent", "link_updates_applied",
+            "links_retargeted", "undeliverable", "nacks_sent",
+            "processes_spawned", "processes_exited", "syscalls",
+        ):
+            registry.counter(f"kernel.{name}", machine=machine).set_total(
+                getattr(self, name)
+            )
+        for op, count in self.extra_by_op.items():
+            registry.counter(
+                "kernel.extra", machine=machine, op=op
+            ).set_total(count)
+
 
 class Kernel:
     """The kernel of one machine."""
@@ -157,12 +176,22 @@ class Kernel:
         tracer: Tracer,
         config: KernelConfig | None = None,
         well_known: dict[str, ProcessAddress] | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.machine = machine
         self.loop = loop
         self.network = network
         self.tracer = tracer
         self.config = config or KernelConfig()
+        #: the system-wide registry this kernel publishes into; a
+        #: standalone kernel gets a private one so publishing never
+        #: needs a null check
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.metrics.register_collector(self._publish_metrics)
         #: service name -> address, used to mint bootstrap links at spawn.
         #: The dict is shared (not copied): the System adds services as
         #: they boot, and every kernel sees them immediately.
@@ -177,6 +206,13 @@ class Kernel:
         self.scheduler = RoundRobinScheduler(self.config.quantum)
         self.memory = MemoryManager(self.config.memory_capacity)
         self.stats = KernelStats()
+        #: hop-count distribution of messages this kernel forwarded
+        #: (paper §4: chains are the cost of lazy link updating)
+        self._forward_hops = self.metrics.histogram(
+            "kernel.forward_hops",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+            machine=machine,
+        )
 
         self._local_id_counter = 0
         self._cpu_busy = False
@@ -479,6 +515,7 @@ class Kernel:
         original_sender = message.sender
         message.redirect(forward_to)
         self.stats.messages_forwarded += 1
+        self._forward_hops.observe(message.forward_count)
         self.tracer.record(
             "forward", "hit", pid=str(message.dest.pid), op=message.op,
             serial=message.serial, to=forward_to, hop=message.forward_count,
@@ -1075,6 +1112,38 @@ class Kernel:
     # ==================================================================
     # Introspection
     # ==================================================================
+
+    def _publish_metrics(self, registry: "MetricsRegistry") -> None:
+        """Registry collector: mirror this kernel's counters and gauges."""
+        machine = self.machine
+        self.stats.publish(registry, machine)
+        registry.gauge("kernel.processes_alive", machine=machine).set(
+            len(self.processes)
+        )
+        registry.gauge("kernel.run_queue", machine=machine).set(
+            self.scheduler.load
+        )
+        registry.gauge("kernel.memory_used_bytes", machine=machine).set(
+            self.memory.used_bytes
+        )
+        registry.gauge("kernel.memory_free_bytes", machine=machine).set(
+            self.memory.free_bytes
+        )
+        registry.gauge("kernel.forwarding_entries", machine=machine).set(
+            len(self.forwarding)
+        )
+        registry.gauge("kernel.forwarding_bytes", machine=machine).set(
+            self.forwarding.storage_bytes
+        )
+        registry.counter("kernel.forwards", machine=machine).set_total(
+            self.forwarding.total_forwards
+        )
+        registry.counter(
+            "kernel.forwarding_collected", machine=machine
+        ).set_total(self.forwarding.collected)
+        registry.gauge(
+            "kernel.migrations_in_flight", machine=machine
+        ).set(self.migration.in_progress)
 
     def load_snapshot(self) -> dict[str, Any]:
         """The load information a migration decision rule needs (§3.1)."""

@@ -146,6 +146,7 @@ class MigrationEngine:
         self._outgoing[pid] = entry
         kernel.tracer.record(
             "migrate", "step1-freeze", pid=str(pid),
+            machine=kernel.machine, dest=dest,
             saved=state.saved_status.value if state.saved_status else "?",
         )
 
@@ -314,8 +315,49 @@ class MigrationEngine:
     def _finish_source(self, entry: _SourceMigration, success: bool) -> None:
         self._outgoing.pop(entry.pid, None)
         self.completed.append(entry.record)
+        self._publish_record(entry.record, success)
         for callback in entry.callbacks:
             callback(success, entry.record)
+
+    def _publish_record(
+        self, record: MigrationCostRecord, success: bool
+    ) -> None:
+        """Push this migration's §6 cost figures into the registry."""
+        metrics = self.kernel.metrics
+        machine = self.kernel.machine
+        outcome = "migration.completed" if success else "migration.refused"
+        metrics.counter(outcome, machine=machine).inc()
+        metrics.counter("migration.admin_messages", machine=machine).inc(
+            record.admin_message_count
+        )
+        metrics.counter("migration.admin_bytes", machine=machine).inc(
+            record.admin_bytes
+        )
+        if not success:
+            return
+        metrics.counter("migration.state_bytes", machine=machine).inc(
+            record.state_transfer_bytes
+        )
+        metrics.counter("migration.pending_forwarded", machine=machine).inc(
+            record.pending_forwarded
+        )
+        if record.downtime is not None:
+            metrics.counter(
+                "migration.downtime_us_total", machine=machine
+            ).inc(record.downtime)
+            metrics.histogram("migration.downtime_us").observe(
+                record.downtime
+            )
+        if record.duration is not None:
+            metrics.histogram("migration.duration_us").observe(
+                record.duration
+            )
+        metrics.histogram(
+            "migration.admin_bytes_per_message",
+            buckets=(6, 8, 10, 12, 16),
+        ).observe(
+            record.admin_bytes / max(1, record.admin_message_count)
+        )
 
     # ==================================================================
     # Destination side
@@ -391,6 +433,10 @@ class MigrationEngine:
         self.kernel.memory.commit_reservation(pid, entry.state.memory)
         self.kernel.adopt(entry.state)
         entry.phase = "installed"
+        self.kernel.tracer.record(
+            "migrate", "transfer-complete", pid=str(pid),
+            bytes=sum(entry.sizes.values()), machine=self.kernel.machine,
+        )
         self._send_admin(
             None, entry.source, OP_TRANSFER_COMPLETE, {"pid": pid},
         )

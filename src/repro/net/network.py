@@ -13,7 +13,7 @@ Kernels use exactly two operations:
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import UnknownMachineError
 from repro.net.channel import Channel, FaultPlan
@@ -24,6 +24,9 @@ from repro.net.topology import MachineId, Topology
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 
 Receiver = Callable[[MachineId, Any], None]
 
@@ -39,11 +42,14 @@ class Network:
         rngs: RandomStreams | None = None,
         faults: FaultPlan | None = None,
         rto: int = DEFAULT_RTO,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.loop = loop
         self.topology = topology
         self.tracer = tracer
         self.stats = NetworkStats()
+        if metrics is not None:
+            metrics.register_collector(self.stats.publish)
         self._rngs = rngs or RandomStreams(0)
         self._default_faults = faults or FaultPlan()
         self._channels: dict[tuple[MachineId, MachineId], Channel] = {}

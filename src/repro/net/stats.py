@@ -10,8 +10,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -66,6 +70,24 @@ class NetworkStats:
             "bytes_sent": self.bytes_sent,
             "payload_bytes_sent": self.payload_bytes_sent,
         }
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Mirror every counter into a metrics registry.
+
+        Registered by :class:`~repro.net.network.Network` as a registry
+        collector, so snapshots always see current values without the
+        transport paying per-packet registry costs.
+        """
+        for name, value in self.snapshot().items():
+            registry.counter(f"net.{name}").set_total(value)
+        for cat, count in self.sends_by_category.items():
+            registry.counter("net.sends", category=cat).set_total(count)
+        for cat, nbytes in self.payload_bytes_by_category.items():
+            registry.counter(
+                "net.payload_bytes", category=cat
+            ).set_total(nbytes)
+        for cat, count in self.delivered_by_category.items():
+            registry.counter("net.delivered", category=cat).set_total(count)
 
     def category_snapshot(self) -> dict[str, tuple[int, int]]:
         """Per-category ``(sends, payload_bytes)`` pairs."""

@@ -1,0 +1,170 @@
+"""Machine-readable exporters: Chrome trace JSON and metrics snapshots.
+
+Two formats leave the simulator:
+
+- **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` format
+  understood by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``.  Migration spans become complete (``"X"``)
+  events; protocol steps, forwarding hops and link updates become
+  instant (``"i"``) events on the same track.  Simulated time is already
+  microseconds, which is exactly the unit trace events use.
+- **metrics snapshot JSON** — the flat dict from
+  :meth:`MetricsSnapshot.to_dict`, wrapped with a schema tag, suitable
+  for CI diffing and ``python -m repro report --json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.spans import Span
+from repro.sim.trace import TraceRecord
+
+#: schema tags let downstream tooling reject unknown layouts
+TRACE_SCHEMA = "repro-trace/v1"
+METRICS_SCHEMA = "repro-metrics/v1"
+
+
+class _Tracks:
+    """Stable integer thread ids for span/record tracks."""
+
+    def __init__(self) -> None:
+        self._tids: dict[str, int] = {}
+
+    def tid(self, key: str) -> int:
+        if key not in self._tids:
+            self._tids[key] = len(self._tids) + 1
+        return self._tids[key]
+
+    def metadata_events(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": key},
+            }
+            for key, tid in self._tids.items()
+        ]
+
+
+def span_to_trace_events(
+    span: Span, tracks: _Tracks | None = None
+) -> list[dict[str, Any]]:
+    """One span as a complete event plus instants for its events."""
+    tracks = tracks or _Tracks()
+    tid = tracks.tid(span.pid)
+    end = span.end if span.end is not None else (
+        span.events[-1].time if span.events else span.start
+    )
+    events: list[dict[str, Any]] = [
+        {
+            "name": span.name,
+            "cat": "migrate",
+            "ph": "X",
+            "ts": span.start,
+            "dur": max(0, end - span.start),
+            "pid": 0,
+            "tid": tid,
+            "args": {
+                "status": span.status,
+                "source": span.source,
+                "dest": span.dest,
+                "steps": span.steps(),
+            },
+        }
+    ]
+    for event in span.events:
+        events.append(
+            {
+                "name": event.name,
+                "cat": "migrate",
+                "ph": "i",
+                "s": "t",
+                "ts": event.time,
+                "pid": 0,
+                "tid": tid,
+                "args": dict(event.fields),
+            }
+        )
+    return events
+
+
+def record_to_trace_event(
+    record: TraceRecord, tracks: _Tracks
+) -> dict[str, Any]:
+    """One raw tracer record as an instant event."""
+    track_key = str(record.fields.get("pid", record.category))
+    return {
+        "name": f"{record.category}.{record.event}",
+        "cat": record.category,
+        "ph": "i",
+        "s": "t",
+        "ts": record.time,
+        "pid": 0,
+        "tid": tracks.tid(track_key),
+        "args": {k: _jsonable(v) for k, v in record.fields.items()},
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    spans: Iterable[Span],
+    records: Iterable[TraceRecord] = (),
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the full Chrome trace document.
+
+    *spans* become span tracks; *records* (optionally the raw tracer
+    stream, minus the migrate/forward/linkupd categories already carried
+    by the spans) become instant events.
+    """
+    tracks = _Tracks()
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        events.extend(span_to_trace_events(span, tracks))
+    for record in records:
+        events.append(record_to_trace_event(record, tracks))
+    events.extend(tracks.metadata_events())
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, **(metadata or {})},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[Span],
+    records: Iterable[TraceRecord] = (),
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Serialise :func:`chrome_trace` to *path*; returns the path."""
+    path = Path(path)
+    document = chrome_trace(spans, records, metadata)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def metrics_snapshot_dict(
+    snapshot: MetricsSnapshot,
+    now: int | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Wrap a frozen registry snapshot for JSON export."""
+    document: dict[str, Any] = {"schema": METRICS_SCHEMA}
+    if now is not None:
+        document["now_us"] = now
+    if extra:
+        document.update(extra)
+    document.update(snapshot.to_dict())
+    return document

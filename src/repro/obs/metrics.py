@@ -1,0 +1,310 @@
+"""A metrics registry: named counters, gauges and histograms.
+
+One :class:`MetricsRegistry` serves a whole simulated system.  Components
+publish two ways:
+
+- **push** — hot paths hold an instrument and update it directly
+  (``registry.counter("migration.completed").inc()``,
+  ``registry.histogram("migration.downtime_us").observe(dt)``);
+- **pull** — components with existing cheap counters register a
+  *collector* callback which copies them into the registry when a
+  snapshot is taken (the Prometheus client model).  This keeps the
+  per-event cost of kernel and network bookkeeping at a plain integer
+  increment while still surfacing everything through one registry.
+
+Instruments are identified by ``(name, labels)``; labels are sorted
+key/value pairs (e.g. ``machine=0``), so per-machine series of the same
+metric aggregate naturally.  :meth:`MetricsRegistry.snapshot` freezes the
+whole registry into a :class:`MetricsSnapshot` for reports and exporters.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+#: A label set, normalised to sorted ``(key, value)`` pairs.
+LabelSet = tuple[tuple[str, Any], ...]
+
+#: Default histogram bucket upper bounds (microseconds / bytes / counts
+#: all fit: powers of four give wide dynamic range with few buckets).
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(4.0**i for i in range(1, 13))
+
+
+def _labelset(labels: dict[str, Any]) -> LabelSet:
+    return tuple(sorted(labels.items()))
+
+
+def render_key(name: str, labels: LabelSet) -> str:
+    """Flat string form, e.g. ``kernel.forwards{machine=0}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must not be negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total.
+
+        For *collectors* mirroring an externally maintained count; the
+        new total may not be below the current one.
+        """
+        if value < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot decrease "
+                f"({self.value} -> {value})"
+            )
+        self.value = value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, live entries)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Frozen view of one histogram."""
+
+    count: int
+    sum: float
+    min: float | None
+    max: float | None
+    #: parallel to the histogram's bucket bounds: observations <= bound
+    #: (cumulative, Prometheus-style); the implicit +Inf bucket == count
+    bucket_bounds: tuple[float, ...]
+    bucket_counts: tuple[int, ...]
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                str(bound): count
+                for bound, count in zip(self.bucket_bounds, self.bucket_counts)
+            },
+        }
+
+
+class Histogram:
+    """A distribution of observations with fixed cumulative buckets."""
+
+    __slots__ = (
+        "name", "labels", "bounds", "_bucket_counts",
+        "count", "sum", "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: tuple[float, ...] = tuple(sorted(set(buckets)))
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self._bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum: float = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self._bucket_counts):
+            self._bucket_counts[index] += 1
+
+    def freeze(self) -> HistogramSnapshot:
+        """A cumulative-bucket snapshot of the distribution."""
+        cumulative = []
+        running = 0
+        for n in self._bucket_counts:
+            running += n
+            cumulative.append(running)
+        return HistogramSnapshot(
+            count=self.count,
+            sum=self.sum,
+            min=self.min,
+            max=self.max,
+            bucket_bounds=self.bounds,
+            bucket_counts=tuple(cumulative),
+        )
+
+
+class MetricsSnapshot:
+    """A frozen copy of every instrument in a registry."""
+
+    def __init__(
+        self,
+        counters: dict[str, dict[LabelSet, float]],
+        gauges: dict[str, dict[LabelSet, float]],
+        histograms: dict[str, dict[LabelSet, HistogramSnapshot]],
+    ) -> None:
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+
+    # -- scalar access --------------------------------------------------
+
+    def _series(self, name: str) -> dict[LabelSet, float]:
+        return self.counters.get(name) or self.gauges.get(name) or {}
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets (0 if absent)."""
+        return sum(self._series(name).values())
+
+    def get(self, name: str, **labels: Any) -> float:
+        """One series' value (0 if absent)."""
+        return self._series(name).get(_labelset(labels), 0)
+
+    def by_label(self, name: str, key: str) -> dict[Any, float]:
+        """Aggregate a metric by one label key, e.g. per ``machine``."""
+        out: dict[Any, float] = {}
+        for labels, value in self._series(name).items():
+            for k, v in labels:
+                if k == key:
+                    out[v] = out.get(v, 0) + value
+        return out
+
+    def histogram(self, name: str, **labels: Any) -> HistogramSnapshot | None:
+        return self.histograms.get(name, {}).get(_labelset(labels))
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready nested dict (flat keys inside each section)."""
+
+        def flatten(section: dict[str, dict[LabelSet, Any]], freeze=None):
+            out = {}
+            for name in sorted(section):
+                for labels in sorted(section[name], key=str):
+                    value = section[name][labels]
+                    out[render_key(name, labels)] = (
+                        freeze(value) if freeze else value
+                    )
+            return out
+
+        return {
+            "counters": flatten(self.counters),
+            "gauges": flatten(self.gauges),
+            "histograms": flatten(
+                self.histograms, freeze=lambda h: h.to_dict()
+            ),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instruments, pull collectors, take snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelSet], Counter] = {}
+        self._gauges: dict[tuple[str, LabelSet], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelSet], Histogram] = {}
+        self._collectors: list[Callable[[MetricsRegistry], None]] = []
+
+    # -- instruments ----------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _labelset(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(*key)
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _labelset(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(*key)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _labelset(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                *key, buckets=buckets or DEFAULT_BUCKETS
+            )
+        return instrument
+
+    # -- collectors -----------------------------------------------------
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Call *collector* (once) on every snapshot, before freezing.
+
+        Collectors mirror externally maintained counters into the
+        registry via :meth:`Counter.set_total` / :meth:`Gauge.set`.
+        """
+        self._collectors.append(collector)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Run collectors, then freeze every instrument."""
+        for collector in self._collectors:
+            collector(self)
+
+        def group(instruments: dict[tuple[str, LabelSet], Any], value_of):
+            out: dict[str, dict[LabelSet, Any]] = {}
+            for (name, labels), instrument in instruments.items():
+                out.setdefault(name, {})[labels] = value_of(instrument)
+            return out
+
+        return MetricsSnapshot(
+            counters=group(self._counters, lambda c: c.value),
+            gauges=group(self._gauges, lambda g: g.value),
+            histograms=group(self._histograms, lambda h: h.freeze()),
+        )

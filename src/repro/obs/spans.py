@@ -1,0 +1,183 @@
+"""Migration spans, assembled from tracer records.
+
+A *span* is one 8-step migration (paper Figure 3-1) seen end to end:
+opened when the source freezes the process (step 1), closed when the
+source sees the restart acknowledgement (or a refusal).  Every protocol
+step lands inside it as a timestamped :class:`SpanEvent`; forwarding hops
+and link-update messages that involve the migrated process attach to its
+most recent span as child events — the attribution the paper's §6 cost
+analysis relies on.
+
+:class:`SpanCollector` is a tracer listener (:meth:`Tracer.subscribe`),
+so span assembly costs nothing when no collector is attached and never
+perturbs simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.trace import TraceRecord, Tracer
+
+#: trace event -> (span event name, protocol step number or None)
+MIGRATION_STEPS: dict[str, tuple[str, int | None]] = {
+    "step1-freeze": ("FREEZE", 1),
+    "step2-request": ("REQUEST", 2),
+    "accepted": ("ACCEPT", None),
+    "step3-allocate": ("ALLOCATE", 3),
+    "step4-state": ("SEGMENT_MOVE", 4),
+    "step5-program": ("SEGMENT_MOVE", 5),
+    "segment-stream": ("SEGMENT_STREAM", None),
+    "transfer-complete": ("TRANSFER_COMPLETE", None),
+    "step6-forward-pending": ("FORWARD_PENDING", 6),
+    "step7-cleanup": ("CLEANUP", 7),
+    "step8-restart": ("RESTART", 8),
+    "done": ("RESTART_ACK", None),
+    "refused": ("REFUSED", None),
+}
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One timestamped event inside a span."""
+
+    time: int
+    name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def step(self) -> int | None:
+        """The protocol step number, if this event is one of the eight."""
+        return self.fields.get("step")
+
+
+@dataclass
+class Span:
+    """One migration from freeze to restart-ack."""
+
+    pid: str
+    start: int
+    source: int | None = None
+    dest: int | None = None
+    end: int | None = None
+    status: str = "in-flight"  #: in-flight | ok | refused
+    events: list[SpanEvent] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        src = "?" if self.source is None else self.source
+        dst = "?" if self.dest is None else self.dest
+        return f"migrate {self.pid} {src}->{dst}"
+
+    @property
+    def duration(self) -> int | None:
+        """Microseconds from freeze until the span closed."""
+        return None if self.end is None else self.end - self.start
+
+    def add(self, time: int, name: str, **fields: Any) -> SpanEvent:
+        event = SpanEvent(time, name, fields)
+        self.events.append(event)
+        return event
+
+    def steps(self) -> list[int]:
+        """Protocol step numbers present, in event (i.e. time) order."""
+        return [e.step for e in self.events if e.step is not None]
+
+    def event_times(self) -> list[int]:
+        return [e.time for e in self.events]
+
+    def child_events(self) -> list[SpanEvent]:
+        """Forwarding hops / link updates attached after the protocol."""
+        return [
+            e for e in self.events
+            if e.name in ("FORWARD_HOP", "LINK_UPDATE_SENT",
+                          "LINK_UPDATE_APPLIED")
+        ]
+
+
+class SpanCollector:
+    """Builds migration spans from a tracer's record stream."""
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self._open: dict[str, Span] = {}
+        #: latest span per pid (open or closed) — forwarding hops arrive
+        #: after the migration finished and still belong to it
+        self._latest: dict[str, Span] = {}
+        self.finished: list[Span] = []
+        if tracer is not None:
+            tracer.subscribe(self.observe)
+
+    # -- listener -------------------------------------------------------
+
+    def observe(self, record: TraceRecord) -> None:
+        """Tracer listener entry point."""
+        if record.category == "migrate":
+            self._on_migrate(record)
+        elif record.category == "forward" and record.event == "hit":
+            self._attach(record.fields.get("pid"), record, "FORWARD_HOP")
+        elif record.category == "linkupd" and record.event in (
+            "sent", "applied",
+        ):
+            self._attach(
+                record.fields.get("target"), record,
+                f"LINK_UPDATE_{record.event.upper()}",
+            )
+
+    def _on_migrate(self, record: TraceRecord) -> None:
+        mapped = MIGRATION_STEPS.get(record.event)
+        if mapped is None:
+            return  # not-here / already-moving / noop never open a span
+        name, step = mapped
+        pid = record.fields.get("pid")
+        if pid is None:
+            return
+        span = self._open.get(pid)
+        if record.event == "step1-freeze":
+            span = Span(
+                pid=pid,
+                start=record.time,
+                source=record.fields.get("machine"),
+                dest=record.fields.get("dest"),
+            )
+            self._open[pid] = span
+            self._latest[pid] = span
+        elif span is None:
+            return  # partial trace (collector attached mid-migration)
+        fields = {k: v for k, v in record.fields.items() if k != "pid"}
+        if step is not None:
+            fields["step"] = step
+        span.add(record.time, name, **fields)
+        if record.event == "step2-request" and span.dest is None:
+            span.dest = record.fields.get("dest")
+        if record.event in ("done", "refused"):
+            span.end = record.time
+            span.status = "ok" if record.event == "done" else "refused"
+            self.finished.append(span)
+            del self._open[pid]
+
+    def _attach(
+        self, pid: str | None, record: TraceRecord, name: str
+    ) -> None:
+        if pid is None:
+            return
+        span = self._latest.get(pid)
+        if span is None:
+            return
+        fields = {k: v for k, v in record.fields.items() if k != "pid"}
+        span.add(record.time, name, **fields)
+
+    # -- access ---------------------------------------------------------
+
+    def all_spans(self) -> list[Span]:
+        """Finished spans plus any still in flight, by start time."""
+        return sorted(
+            self.finished + list(self._open.values()),
+            key=lambda s: (s.start, s.pid),
+        )
+
+    def spans_for(self, pid: str) -> list[Span]:
+        return [s for s in self.all_spans() if s.pid == pid]
+
+    def __len__(self) -> int:
+        return len(self.finished) + len(self._open)

@@ -48,6 +48,16 @@ class BalancerStats:
     migrations_failed: int = 0
     moves: list[tuple[str, int, int]] = field(default_factory=list)
 
+    def publish(self, registry) -> None:
+        """Mirror the balancer's decisions into a metrics registry."""
+        for name in (
+            "samples", "imbalanced_samples", "migrations_started",
+            "migrations_succeeded", "migrations_failed",
+        ):
+            registry.counter(f"policy.balancer.{name}").set_total(
+                getattr(self, name)
+            )
+
 
 class ThresholdLoadBalancer:
     """Periodic sample -> sustained imbalance -> migrate one process."""
@@ -85,6 +95,7 @@ class ThresholdLoadBalancer:
 
     def install(self) -> None:
         """Start sampling on the system's event loop."""
+        self.system.metrics.register_collector(self.stats.publish)
         self.system.loop.call_after(self.interval, self._tick)
 
     def stop(self) -> None:

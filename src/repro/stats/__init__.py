@@ -1,6 +1,10 @@
 """Measurement: migration cost ledgers and system-wide reports."""
 
-from repro.stats.collector import SystemReport, collect_report
+from repro.stats.collector import (
+    SystemReport,
+    collect_report,
+    report_from_snapshot,
+)
 from repro.stats.migration_cost import SEGMENTS, MigrationCostRecord
 from repro.stats.timeline import (
     TimelineEntry,
@@ -18,4 +22,5 @@ __all__ = [
     "forwarding_story",
     "migration_timeline",
     "render_timeline",
+    "report_from_snapshot",
 ]

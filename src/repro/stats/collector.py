@@ -1,18 +1,34 @@
 """System-wide measurement reports.
 
-Aggregates the counters scattered across the network and the kernels into
-one flat report — the "means to collect the above information in one
-place" the paper lists as a prerequisite for migration decision rules
-(§3.1), and the thing examples print at the end of a run.
+Builds the "means to collect the above information in one place" the
+paper lists as a prerequisite for migration decision rules (§3.1).  The
+report no longer scrapes each component by hand: every kernel, the
+network, and the migration engines publish into the system's
+:class:`~repro.obs.metrics.MetricsRegistry`, and the report is a typed
+view over one registry snapshot.  ``SystemReport.to_dict()`` is the
+machine-readable form ``python -m repro report --json`` emits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import System
+
+#: scalar network counters surfaced in ``SystemReport.network``
+_NETWORK_SCALARS = (
+    "packets_sent",
+    "packets_delivered",
+    "packets_dropped",
+    "packets_duplicated",
+    "retransmissions",
+    "bytes_sent",
+    "payload_bytes_sent",
+)
 
 
 @dataclass
@@ -60,46 +76,84 @@ class SystemReport:
         ]
         return out
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict with every headline number."""
+        return {
+            "now_us": self.now,
+            "machines": self.machines,
+            "processes_alive": self.processes_alive,
+            "processes_exited": self.processes_exited,
+            "migrations_completed": self.migrations_completed,
+            "migrations_refused": self.migrations_refused,
+            "total_downtime_us": self.total_downtime,
+            "admin_messages": self.admin_messages,
+            "admin_bytes": self.admin_bytes,
+            "state_bytes_moved": self.state_bytes_moved,
+            "pending_messages_forwarded": self.pending_messages_forwarded,
+            "messages_forwarded": self.messages_forwarded,
+            "link_updates_applied": self.link_updates_applied,
+            "links_retargeted": self.links_retargeted,
+            "forwarding_entries": self.forwarding_entries,
+            "forwarding_residual_bytes": self.forwarding_residual_bytes,
+            "network": dict(self.network),
+            "sends_by_category": dict(self.sends_by_category),
+            "per_machine_load": {
+                str(machine): load
+                for machine, load in self.per_machine_load.items()
+            },
+        }
+
+
+def report_from_snapshot(
+    snapshot: MetricsSnapshot, now: int, machines: int
+) -> SystemReport:
+    """Assemble a :class:`SystemReport` from one registry snapshot."""
+    return SystemReport(
+        now=now,
+        machines=machines,
+        processes_alive=int(snapshot.total("kernel.processes_alive")),
+        processes_exited=int(snapshot.total("kernel.processes_exited")),
+        migrations_completed=int(snapshot.total("migration.completed")),
+        migrations_refused=int(snapshot.total("migration.refused")),
+        total_downtime=int(snapshot.total("migration.downtime_us_total")),
+        admin_messages=int(snapshot.total("migration.admin_messages")),
+        admin_bytes=int(snapshot.total("migration.admin_bytes")),
+        state_bytes_moved=int(snapshot.total("migration.state_bytes")),
+        pending_messages_forwarded=int(
+            snapshot.total("migration.pending_forwarded")
+        ),
+        messages_forwarded=int(snapshot.total("kernel.messages_forwarded")),
+        link_updates_applied=int(
+            snapshot.total("kernel.link_updates_applied")
+        ),
+        links_retargeted=int(snapshot.total("kernel.links_retargeted")),
+        forwarding_entries=int(snapshot.total("kernel.forwarding_entries")),
+        forwarding_residual_bytes=int(
+            snapshot.total("kernel.forwarding_bytes")
+        ),
+        network={
+            name: int(snapshot.get(f"net.{name}"))
+            for name in _NETWORK_SCALARS
+        },
+        sends_by_category={
+            category: int(count)
+            for category, count in snapshot.by_label(
+                "net.sends", "category"
+            ).items()
+        },
+        per_machine_load={
+            machine: int(load)
+            for machine, load in snapshot.by_label(
+                "kernel.run_queue", "machine"
+            ).items()
+        },
+    )
+
 
 def collect_report(system: "System") -> SystemReport:
     """Build a :class:`SystemReport` from a (possibly running) system."""
-    records = system.migration_records()
-    completed = [r for r in records if r.success]
-    refused = [r for r in records if r.success is False]
-    return SystemReport(
+    return report_from_snapshot(
+        system.metrics.snapshot(),
         now=system.loop.now,
         machines=len(system.kernels),
-        processes_alive=sum(len(k.processes) for k in system.kernels),
-        processes_exited=sum(
-            k.stats.processes_exited for k in system.kernels
-        ),
-        migrations_completed=len(completed),
-        migrations_refused=len(refused),
-        total_downtime=sum(r.downtime or 0 for r in completed),
-        admin_messages=sum(r.admin_message_count for r in records),
-        admin_bytes=sum(r.admin_bytes for r in records),
-        state_bytes_moved=sum(r.state_transfer_bytes for r in completed),
-        pending_messages_forwarded=sum(
-            r.pending_forwarded for r in completed
-        ),
-        messages_forwarded=sum(
-            k.stats.messages_forwarded for k in system.kernels
-        ),
-        link_updates_applied=sum(
-            k.stats.link_updates_applied for k in system.kernels
-        ),
-        links_retargeted=sum(
-            k.stats.links_retargeted for k in system.kernels
-        ),
-        forwarding_entries=system.total_forwarding_entries(),
-        forwarding_residual_bytes=sum(
-            k.forwarding.storage_bytes for k in system.kernels
-        ),
-        network=system.network.stats.snapshot(),
-        sends_by_category=dict(
-            system.network.stats.sends_by_category
-        ),
-        per_machine_load={
-            k.machine: k.scheduler.load for k in system.kernels
-        },
     )

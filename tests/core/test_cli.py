@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.obs.exporters import METRICS_SCHEMA, TRACE_SCHEMA
 
 
 class TestCli:
@@ -35,3 +38,78 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestReportJson:
+    def test_emits_valid_metrics_document(self, capsys):
+        assert main(["report", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == METRICS_SCHEMA
+        assert document["now_us"] > 0
+        assert set(document) >= {
+            "counters", "gauges", "histograms", "report",
+        }
+
+    def test_report_section_carries_headline_numbers(self, capsys):
+        main(["report", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        report = document["report"]
+        assert report["migrations_completed"] == 1
+        assert report["admin_messages"] == 9
+        assert report["machines"] == 4
+
+    def test_counters_are_labeled_series(self, capsys):
+        main(["report", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["counters"]["migration.completed{machine=0}"] == 1
+        assert any(
+            key.startswith("kernel.messages_delivered{")
+            for key in document["counters"]
+        )
+
+    def test_migration_histograms_present(self, capsys):
+        main(["report", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        downtime = document["histograms"]["migration.downtime_us"]
+        assert downtime["count"] == 1
+        assert downtime["min"] > 0
+
+
+class TestTraceCommand:
+    def test_writes_perfetto_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["otherData"]["schema"] == TRACE_SCHEMA
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_trace_contains_all_eight_steps_in_order(self, tmp_path,
+                                                     capsys):
+        out = tmp_path / "trace.json"
+        main(["trace", "--out", str(out)])
+        document = json.loads(out.read_text())
+        (complete,) = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        steps = complete["args"]["steps"]
+        assert sorted(set(steps)) == [1, 2, 3, 4, 5, 6, 7, 8]
+        instants = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "i" and e["args"].get("step")
+        ]
+        times = [e["ts"] for e in instants]
+        assert times == sorted(times)
+
+    def test_trace_includes_forwarding_child_event(self, tmp_path,
+                                                   capsys):
+        out = tmp_path / "trace.json"
+        main(["trace", "--out", str(out)])
+        document = json.loads(out.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "FORWARD_HOP" in names
+
+    def test_trace_prints_span_summary(self, tmp_path, capsys):
+        main(["trace", "--out", str(tmp_path / "t.json")])
+        printed = capsys.readouterr().out
+        assert "migrate p0.1 0->2: ok" in printed
+        assert "wrote Chrome trace" in printed

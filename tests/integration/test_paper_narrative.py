@@ -6,7 +6,6 @@ Figure 2-3 servers booted).
 """
 
 from repro.kernel.ids import ProcessAddress
-from repro.kernel.messages import MessageKind
 from repro.servers.common import lookup_service, rpc
 from repro.servers.switchboard import register_service
 from repro.workloads.results import ResultsBoard

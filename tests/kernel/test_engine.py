@@ -1,11 +1,8 @@
 """Tests for the kernel's syscall engine: programs as generators."""
 
-import pytest
-
 from repro.errors import InvalidLinkError, KernelError
 from repro.kernel.ids import ProcessAddress
 from repro.kernel.links import DataArea, LinkAttribute
-from repro.kernel.process_state import ProcessStatus
 from tests.conftest import drain, make_bare_system
 
 

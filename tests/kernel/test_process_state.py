@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ProcessStateError
 from repro.kernel.ids import ProcessId
-from repro.kernel.links import Link, LinkTable
+from repro.kernel.links import Link
 from repro.kernel.process_state import (
     RESIDENT_STATE_BYTES,
     SWAPPABLE_STATE_BASE_BYTES,

@@ -1,9 +1,9 @@
 """Tests for network accounting and wire occupancy."""
 
-from repro.net.channel import Channel, FaultPlan
+from repro.net.channel import Channel
 from repro.net.packet import PACKET_HEADER_BYTES, Packet, PacketKind
 from repro.net.stats import NetworkStats
-from repro.net.topology import Topology, Wire
+from repro.net.topology import Wire
 from repro.sim.loop import EventLoop
 
 

@@ -1,0 +1,145 @@
+"""Tests for the Chrome trace and metrics JSON exporters."""
+
+import json
+
+from repro.obs.exporters import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    chrome_trace,
+    metrics_snapshot_dict,
+    span_to_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+from repro.sim.trace import TraceRecord
+
+
+def make_span():
+    span = Span(pid="p0.1", start=100, source=0, dest=2)
+    span.add(100, "FREEZE", step=1)
+    span.add(110, "REQUEST", step=2)
+    span.add(200, "RESTART", step=8)
+    span.add(210, "RESTART_ACK")
+    span.end = 210
+    span.status = "ok"
+    return span
+
+
+class TestSpanToTraceEvents:
+    def test_complete_event_plus_instants(self):
+        events = span_to_trace_events(make_span())
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(complete) == 1
+        assert len(instants) == 4
+
+    def test_complete_event_carries_span_summary(self):
+        (complete,) = [
+            e for e in span_to_trace_events(make_span())
+            if e["ph"] == "X"
+        ]
+        assert complete["name"] == "migrate p0.1 0->2"
+        assert complete["ts"] == 100
+        assert complete["dur"] == 110
+        assert complete["args"]["status"] == "ok"
+        assert complete["args"]["steps"] == [1, 2, 8]
+
+    def test_instants_carry_step_fields(self):
+        instants = [
+            e for e in span_to_trace_events(make_span())
+            if e["ph"] == "i"
+        ]
+        assert [e["name"] for e in instants] == [
+            "FREEZE", "REQUEST", "RESTART", "RESTART_ACK",
+        ]
+        assert instants[0]["args"] == {"step": 1}
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_open_span_uses_last_event_as_end(self):
+        span = Span(pid="p", start=10)
+        span.add(10, "FREEZE", step=1)
+        span.add(25, "REQUEST", step=2)
+        (complete,) = [
+            e for e in span_to_trace_events(span) if e["ph"] == "X"
+        ]
+        assert complete["dur"] == 15
+
+    def test_empty_span_has_zero_duration(self):
+        (complete,) = [
+            e for e in span_to_trace_events(Span(pid="p", start=10))
+            if e["ph"] == "X"
+        ]
+        assert complete["dur"] == 0
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        document = chrome_trace([make_span()])
+        assert document["otherData"]["schema"] == TRACE_SCHEMA
+        assert document["displayTimeUnit"] == "ms"
+        assert isinstance(document["traceEvents"], list)
+
+    def test_metadata_merged_into_other_data(self):
+        document = chrome_trace([], metadata={"machines": 4})
+        assert document["otherData"]["machines"] == 4
+
+    def test_spans_share_tracks_by_pid(self):
+        a, b = make_span(), make_span()
+        document = chrome_trace([a, b])
+        tids = {
+            e["tid"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert len(tids) == 1
+
+    def test_thread_name_metadata_emitted(self):
+        document = chrome_trace([make_span()])
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["args"]["name"] == "p0.1"
+
+    def test_raw_records_become_instants(self):
+        record = TraceRecord(42, "net", "drop", {"wire": (0, 1)})
+        document = chrome_trace([], records=[record])
+        (instant,) = [
+            e for e in document["traceEvents"] if e["ph"] == "i"
+        ]
+        assert instant["name"] == "net.drop"
+        assert instant["ts"] == 42
+        # Non-JSON-primitive fields are stringified, not dropped.
+        assert instant["args"]["wire"] == "(0, 1)"
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json", [make_span()],
+            metadata={"pid": "p0.1"},
+        )
+        document = json.loads(path.read_text())
+        assert document["otherData"]["schema"] == TRACE_SCHEMA
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "migrate p0.1 0->2" in names
+
+
+class TestMetricsSnapshotDict:
+    def test_wraps_snapshot_with_schema(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        document = metrics_snapshot_dict(registry.snapshot(), now=500)
+        assert document["schema"] == METRICS_SCHEMA
+        assert document["now_us"] == 500
+        assert document["counters"] == {"c": 3}
+
+    def test_extra_fields_merged(self):
+        document = metrics_snapshot_dict(
+            MetricsRegistry().snapshot(), extra={"report": {"x": 1}},
+        )
+        assert document["report"] == {"x": 1}
+        assert "now_us" not in document
+
+    def test_document_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c", machine=0).inc()
+        registry.histogram("h", buckets=(4, 16)).observe(3)
+        document = metrics_snapshot_dict(registry.snapshot(), now=1)
+        parsed = json.loads(json.dumps(document))
+        assert parsed["histograms"]["h"]["count"] == 1

@@ -1,0 +1,198 @@
+"""Tests for the metrics registry: instruments, labels, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    render_key,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot().total("c") == 5
+
+    def test_inc_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_set_total_rejects_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        counter.set_total(10)
+        with pytest.raises(ValueError):
+            counter.set_total(9)
+
+    def test_set_total_idempotent_at_same_value(self):
+        counter = MetricsRegistry().counter("c")
+        counter.set_total(10)
+        counter.set_total(10)
+        assert counter.value == 10
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", machine=1) is registry.counter(
+            "c", machine=1
+        )
+        assert registry.counter("c", machine=1) is not registry.counter(
+            "c", machine=2
+        )
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", machine=1, op="x")
+        b = registry.counter("c", op="x", machine=1)
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_gauge_can_go_negative(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.dec(3)
+        assert gauge.value == -3
+
+
+class TestHistogram:
+    def test_tracks_count_sum_min_max(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (5, 1, 9):
+            histogram.observe(value)
+        snap = histogram.freeze()
+        assert snap.count == 3
+        assert snap.sum == 15
+        assert snap.min == 1
+        assert snap.max == 9
+        assert snap.mean == 5
+
+    def test_empty_histogram(self):
+        snap = MetricsRegistry().histogram("h").freeze()
+        assert snap.count == 0
+        assert snap.mean is None
+        assert snap.min is None and snap.max is None
+
+    def test_cumulative_buckets(self):
+        histogram = Histogram("h", (), buckets=(10, 100, 1000))
+        for value in (5, 50, 500, 5000):
+            histogram.observe(value)
+        snap = histogram.freeze()
+        # <=10: 1, <=100: 2, <=1000: 3; 5000 only in the implicit +Inf.
+        assert snap.bucket_counts == (1, 2, 3)
+        assert snap.count == 4
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram("h", (), buckets=(10, 100))
+        histogram.observe(10)
+        assert histogram.freeze().bucket_counts == (1, 1)
+
+    def test_bounds_are_sorted_and_deduplicated(self):
+        histogram = Histogram("h", (), buckets=(100, 10, 100))
+        assert histogram.bounds == (10, 100)
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=())
+
+    def test_default_buckets_cover_wide_range(self):
+        assert DEFAULT_BUCKETS[0] == 4
+        assert DEFAULT_BUCKETS[-1] >= 1_000_000
+
+    def test_custom_buckets_only_apply_on_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", buckets=(1, 2))
+        again = registry.histogram("h")
+        assert again is first
+        assert again.bounds == (1, 2)
+
+
+class TestSnapshot:
+    def test_total_sums_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("c", machine=0).inc(2)
+        registry.counter("c", machine=1).inc(3)
+        assert registry.snapshot().total("c") == 5
+
+    def test_get_single_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", machine=0).inc(2)
+        snap = registry.snapshot()
+        assert snap.get("c", machine=0) == 2
+        assert snap.get("c", machine=9) == 0
+        assert snap.get("absent") == 0
+
+    def test_by_label(self):
+        registry = MetricsRegistry()
+        registry.counter("c", machine=0, op="a").inc(1)
+        registry.counter("c", machine=0, op="b").inc(2)
+        registry.counter("c", machine=1, op="a").inc(4)
+        snap = registry.snapshot()
+        assert snap.by_label("c", "machine") == {0: 3, 1: 4}
+        assert snap.by_label("c", "op") == {"a": 5, "b": 2}
+
+    def test_histogram_lookup(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", machine=2).observe(7)
+        snap = registry.snapshot()
+        assert snap.histogram("h", machine=2).count == 1
+        assert snap.histogram("h", machine=3) is None
+        assert snap.histogram("absent") is None
+
+    def test_snapshot_is_frozen_copy(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        snap = registry.snapshot()
+        counter.inc(100)
+        assert snap.total("c") == 1
+
+    def test_to_dict_renders_flat_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("kernel.forwards", machine=0).inc(3)
+        registry.gauge("sim.now_us").set(42)
+        registry.histogram("h", buckets=(10,)).observe(5)
+        document = registry.snapshot().to_dict()
+        assert document["counters"] == {"kernel.forwards{machine=0}": 3}
+        assert document["gauges"] == {"sim.now_us": 42}
+        assert document["histograms"]["h"]["count"] == 1
+        assert document["histograms"]["h"]["buckets"] == {"10": 1}
+
+    def test_render_key(self):
+        assert render_key("n", ()) == "n"
+        assert render_key("n", (("a", 1), ("b", "x"))) == "n{a=1,b=x}"
+
+
+class TestCollectors:
+    def test_collector_runs_on_snapshot(self):
+        registry = MetricsRegistry()
+        external = {"count": 7}
+
+        def publish(reg):
+            reg.counter("mirrored").set_total(external["count"])
+
+        registry.register_collector(publish)
+        assert registry.snapshot().total("mirrored") == 7
+        external["count"] = 9
+        assert registry.snapshot().total("mirrored") == 9
+
+    def test_multiple_collectors_all_run(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda reg: reg.counter("a").set_total(1)
+        )
+        registry.register_collector(
+            lambda reg: reg.counter("b").set_total(2)
+        )
+        snap = registry.snapshot()
+        assert snap.total("a") == 1 and snap.total("b") == 2

@@ -1,0 +1,196 @@
+"""Tests for migration span assembly from tracer records."""
+
+from repro.obs.spans import MIGRATION_STEPS, SpanCollector
+from repro.sim.trace import Tracer
+from tests.conftest import drain, make_bare_system
+
+
+def make_tracer():
+    clock = {"now": 0}
+    tracer = Tracer(lambda: clock["now"])
+    return tracer, clock
+
+
+def feed_migration(tracer, clock, pid="p0.1", refuse=False):
+    """Replay the trace records of one migration by hand."""
+    clock["now"] = 100
+    tracer.record("migrate", "step1-freeze", pid=pid, machine=0, dest=2)
+    clock["now"] = 110
+    tracer.record("migrate", "step2-request", pid=pid, dest=2)
+    if refuse:
+        clock["now"] = 120
+        tracer.record("migrate", "refused", pid=pid, reason="memory")
+        return
+    for now, event in (
+        (120, "accepted"), (130, "step3-allocate"), (140, "step4-state"),
+        (150, "step4-state"), (160, "step5-program"),
+        (170, "transfer-complete"), (180, "step6-forward-pending"),
+        (190, "step7-cleanup"), (200, "step8-restart"), (210, "done"),
+    ):
+        clock["now"] = now
+        tracer.record("migrate", event, pid=pid)
+
+
+class TestSpanAssembly:
+    def test_full_migration_becomes_one_ok_span(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        feed_migration(tracer, clock)
+        (span,) = collector.all_spans()
+        assert span.status == "ok"
+        assert span.pid == "p0.1"
+        assert span.source == 0 and span.dest == 2
+        assert span.start == 100 and span.end == 210
+        assert span.duration == 110
+
+    def test_span_contains_all_eight_steps_in_order(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        feed_migration(tracer, clock)
+        (span,) = collector.all_spans()
+        assert span.steps() == [1, 2, 3, 4, 4, 5, 6, 7, 8]
+        times = span.event_times()
+        assert times == sorted(times)
+
+    def test_span_name(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        feed_migration(tracer, clock)
+        (span,) = collector.all_spans()
+        assert span.name == "migrate p0.1 0->2"
+
+    def test_refused_migration_closes_span_as_refused(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        feed_migration(tracer, clock, refuse=True)
+        (span,) = collector.all_spans()
+        assert span.status == "refused"
+        assert span.end == 120
+        assert span.steps() == [1, 2]
+
+    def test_open_span_is_in_flight(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        clock["now"] = 5
+        tracer.record("migrate", "step1-freeze", pid="p0.1",
+                      machine=0, dest=1)
+        (span,) = collector.all_spans()
+        assert span.status == "in-flight"
+        assert span.end is None and span.duration is None
+        assert len(collector) == 1
+        assert collector.finished == []
+
+    def test_partial_trace_ignored(self):
+        # Collector attached mid-migration: steps without a step1 open
+        # no span instead of producing a broken one.
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        tracer.record("migrate", "step5-program", pid="p0.1")
+        tracer.record("migrate", "done", pid="p0.1")
+        assert collector.all_spans() == []
+
+    def test_non_step_migrate_events_ignored(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        tracer.record("migrate", "not-here", pid="p0.1")
+        tracer.record("migrate", "already-moving", pid="p0.1")
+        assert collector.all_spans() == []
+
+    def test_concurrent_migrations_tracked_separately(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        tracer.record("migrate", "step1-freeze", pid="a", machine=0,
+                      dest=1)
+        tracer.record("migrate", "step1-freeze", pid="b", machine=2,
+                      dest=3)
+        tracer.record("migrate", "done", pid="b")
+        spans = {s.pid: s for s in collector.all_spans()}
+        assert spans["a"].status == "in-flight"
+        assert spans["b"].status == "ok"
+
+    def test_sequential_migrations_of_same_pid(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        feed_migration(tracer, clock)
+        clock["now"] = 1000
+        tracer.record("migrate", "step1-freeze", pid="p0.1", machine=2,
+                      dest=3)
+        clock["now"] = 1010
+        tracer.record("migrate", "done", pid="p0.1")
+        spans = collector.spans_for("p0.1")
+        assert len(spans) == 2
+        assert [s.source for s in spans] == [0, 2]
+
+    def test_every_mapped_event_has_a_name(self):
+        for event, (name, step) in MIGRATION_STEPS.items():
+            assert name
+            assert step is None or 1 <= step <= 8
+
+
+class TestChildEvents:
+    def test_forward_hits_attach_to_latest_span(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        feed_migration(tracer, clock)
+        clock["now"] = 300
+        tracer.record("forward", "hit", pid="p0.1", machine=0)
+        (span,) = collector.all_spans()
+        children = span.child_events()
+        assert [e.name for e in children] == ["FORWARD_HOP"]
+        assert children[0].time == 300
+
+    def test_link_updates_attach_by_target(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        feed_migration(tracer, clock)
+        tracer.record("linkupd", "sent", target="p0.1", to=3)
+        tracer.record("linkupd", "applied", target="p0.1", machine=3)
+        (span,) = collector.all_spans()
+        assert [e.name for e in span.child_events()] == [
+            "LINK_UPDATE_SENT", "LINK_UPDATE_APPLIED",
+        ]
+
+    def test_child_events_for_unknown_pid_ignored(self):
+        tracer, clock = make_tracer()
+        collector = SpanCollector(tracer)
+        tracer.record("forward", "hit", pid="nobody")
+        tracer.record("linkupd", "sent", target="nobody")
+        assert collector.all_spans() == []
+
+
+class TestAgainstRealSystem:
+    def test_system_span_matches_migration_ticket(self):
+        system = make_bare_system()
+
+        def parked(ctx):
+            while True:
+                yield ctx.receive()
+
+        pid = system.spawn(parked, machine=0)
+        ticket = system.migrate(pid, 2)
+        drain(system)
+        assert ticket.success
+        (span,) = system.spans.all_spans()
+        assert span.status == "ok"
+        assert span.pid == str(pid)
+        assert span.source == 0 and span.dest == 2
+        assert span.steps() == [1, 2, 3, 4, 4, 5, 6, 7, 8]
+        assert span.duration == ticket.record.duration
+
+    def test_refusal_on_real_system(self):
+        # The destination declines (destination autonomy, paper §3.2) —
+        # the span records the refusal.
+        system = make_bare_system()
+        system.kernel(1).config.accept_migration = lambda p, s: False
+
+        def parked(ctx):
+            while True:
+                yield ctx.receive()
+
+        pid = system.spawn(parked, machine=0)
+        ticket = system.migrate(pid, 1)
+        drain(system)
+        assert not ticket.success
+        (span,) = system.spans.spans_for(str(pid))
+        assert span.status == "refused"
+        assert span.end is not None

@@ -1,0 +1,153 @@
+"""Tests for scripts/check_bench_regression.py (the CI bench gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parents[2]
+    / "scripts" / "check_bench_regression.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_bench", SCRIPT)
+check_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_bench)
+
+
+def write_artifact(directory: Path, name: str, metrics: dict) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps({
+        "schema": check_bench.SCHEMA, "name": name, "metrics": metrics,
+    }))
+    return path
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "results", tmp_path / "baselines"
+
+
+def run(results, baselines, *extra):
+    return check_bench.main([
+        "--results", str(results), "--baselines", str(baselines), *extra,
+    ])
+
+
+class TestComparison:
+    def test_identical_artifacts_pass(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(results, "e1", {"admin_messages": 9})
+        write_artifact(baselines, "e1", {"admin_messages": 9})
+        assert run(results, baselines) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_drift_within_tolerance_passes(self, dirs):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"downtime_us": 1000})
+        write_artifact(results, "e1", {"downtime_us": 1100})
+        assert run(results, baselines, "--tolerance", "0.2") == 0
+
+    def test_drift_beyond_tolerance_fails(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"downtime_us": 1000})
+        write_artifact(results, "e1", {"downtime_us": 1300})
+        assert run(results, baselines, "--tolerance", "0.2") == 1
+        assert "downtime_us" in capsys.readouterr().out
+
+    def test_drift_is_relative_and_two_sided(self, dirs):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"v": 1000})
+        write_artifact(results, "e1", {"v": 750})
+        assert run(results, baselines, "--tolerance", "0.2") == 1
+        write_artifact(results, "e1", {"v": 850})
+        assert run(results, baselines, "--tolerance", "0.2") == 0
+
+    def test_zero_baseline_requires_exact_match(self, dirs):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"errors": 0})
+        write_artifact(results, "e1", {"errors": 1})
+        assert run(results, baselines) == 1
+        write_artifact(results, "e1", {"errors": 0})
+        assert run(results, baselines) == 0
+
+    def test_missing_metric_fails(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"a": 1, "b": 2})
+        write_artifact(results, "e1", {"a": 1})
+        assert run(results, baselines) == 1
+        assert "disappeared" in capsys.readouterr().out
+
+    def test_new_metric_is_noted_not_fatal(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"a": 1})
+        write_artifact(results, "e1", {"a": 1, "brand_new": 5})
+        assert run(results, baselines) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_missing_result_artifact_fails(self, dirs, capsys):
+        results, baselines = dirs
+        results.mkdir()
+        write_artifact(baselines, "e1", {"a": 1})
+        assert run(results, baselines) == 1
+        assert "missing" in capsys.readouterr().out
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"a": 1})
+        bad = results / "BENCH_e1.json"
+        results.mkdir()
+        bad.write_text(json.dumps({
+            "schema": "other/v9", "name": "e1", "metrics": {"a": 1},
+        }))
+        assert run(results, baselines) == 1
+        assert "schema" in capsys.readouterr().out
+
+    def test_non_numeric_metric_rejected(self, dirs):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"a": 1})
+        results.mkdir()
+        (results / "BENCH_e1.json").write_text(json.dumps({
+            "schema": check_bench.SCHEMA, "name": "e1",
+            "metrics": {"a": "fast"},
+        }))
+        assert run(results, baselines) == 1
+
+    def test_no_baselines_is_usage_error(self, dirs):
+        results, baselines = dirs
+        results.mkdir()
+        baselines.mkdir()
+        assert run(results, baselines) == 2
+
+    def test_negative_tolerance_rejected(self, dirs):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"a": 1})
+        write_artifact(results, "e1", {"a": 1})
+        with pytest.raises(SystemExit):
+            run(results, baselines, "--tolerance", "-0.1")
+
+
+class TestRepoBaselines:
+    def test_committed_baselines_are_wellformed(self):
+        baselines = SCRIPT.parent.parent / "benchmarks" / "baselines"
+        paths = sorted(baselines.glob("BENCH_*.json"))
+        assert len(paths) >= 12
+        for path in paths:
+            document = check_bench.load_artifact(path)
+            assert document["metrics"]
+
+    def test_paper_headline_numbers_in_baselines(self):
+        baselines = SCRIPT.parent.parent / "benchmarks" / "baselines"
+        e1 = check_bench.load_artifact(
+            baselines / "BENCH_e1_migration_cost.json"
+        )["metrics"]
+        # The §6 administrative cost: 9 messages of 6-12 bytes.
+        assert e1["admin_messages"] == 9
+        assert e1["admin_message_min_bytes"] >= 6
+        assert e1["admin_message_max_bytes"] <= 12
+        assert e1["resident_bytes"] == 250
+        assert e1["swappable_bytes"] == 600

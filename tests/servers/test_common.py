@@ -1,7 +1,5 @@
 """Tests for the server/client RPC conventions."""
 
-import pytest
-
 from repro.errors import ServerError
 from repro.servers.common import Correlator, rpc, serve_reply
 from tests.conftest import drain, make_bare_system

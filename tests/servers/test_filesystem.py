@@ -1,7 +1,5 @@
 """Tests for the four-process file system."""
 
-import pytest
-
 from repro.errors import FileSystemError
 from repro.servers.filesystem import BLOCK_SIZE, FileClient
 from tests.conftest import drain, make_system

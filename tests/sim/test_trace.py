@@ -67,6 +67,36 @@ class TestFiltering:
         tracer, _ = make_tracer()
         assert tracer.enabled("anything")
 
+    def test_empty_category_list_disables_everything(self):
+        # An explicitly empty allow-list is not "no filter".
+        tracer, _ = make_tracer(enabled_categories=[])
+        tracer.record("kernel", "deliver")
+        assert len(tracer) == 0
+        assert tracer.dropped == 1
+
+    def test_dropped_counts_every_filtered_record(self):
+        tracer, _ = make_tracer(enabled_categories=["kernel"])
+        for _ in range(3):
+            tracer.record("net", "drop")
+        tracer.record("kernel", "deliver")
+        assert tracer.dropped == 3
+        assert len(tracer) == 1
+
+    def test_unsubscribe_stops_delivery(self):
+        tracer, _ = make_tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.record("a", "x")
+        tracer.unsubscribe(seen.append)
+        tracer.record("a", "y")
+        assert [r.event for r in seen] == ["x"]
+
+    def test_unsubscribe_unknown_listener_is_a_no_op(self):
+        tracer, _ = make_tracer()
+        tracer.unsubscribe(lambda record: None)
+        tracer.record("a", "x")
+        assert len(tracer) == 1
+
 
 class TestRingBuffer:
     def test_bounded_buffer_keeps_most_recent(self):
@@ -74,6 +104,51 @@ class TestRingBuffer:
         for i in range(5):
             tracer.record("a", f"e{i}")
         assert [r.event for r in tracer] == ["e2", "e3", "e4"]
+
+    def test_bound_is_a_hard_ceiling(self):
+        tracer, _ = make_tracer(max_records=10)
+        for i in range(1000):
+            tracer.record("a", f"e{i}")
+            assert len(tracer) <= 10
+        assert [r.event for r in tracer] == [
+            f"e{i}" for i in range(990, 1000)
+        ]
+
+    def test_eviction_does_not_count_as_dropped(self):
+        # ``dropped`` counts category-filtered records, not ring
+        # evictions: evicted records *were* collected (and seen by
+        # listeners), they just aged out of the buffer.
+        tracer, _ = make_tracer(max_records=2)
+        for i in range(5):
+            tracer.record("a", f"e{i}")
+        assert tracer.dropped == 0
+
+    def test_listeners_see_records_evicted_from_the_ring(self):
+        # A SpanCollector must be able to assemble spans even when the
+        # buffer is tighter than one migration's worth of records.
+        tracer, _ = make_tracer(max_records=1)
+        seen = []
+        tracer.subscribe(seen.append)
+        for i in range(4):
+            tracer.record("a", f"e{i}")
+        assert [r.event for r in seen] == ["e0", "e1", "e2", "e3"]
+        assert len(tracer) == 1
+
+    def test_filtered_records_do_not_consume_ring_slots(self):
+        tracer, _ = make_tracer(max_records=2,
+                                enabled_categories=["keep"])
+        tracer.record("keep", "a")
+        for _ in range(10):
+            tracer.record("noise", "x")
+        tracer.record("keep", "b")
+        assert [r.event for r in tracer] == ["a", "b"]
+        assert tracer.dropped == 10
+
+    def test_unbounded_by_default(self):
+        tracer, _ = make_tracer()
+        for i in range(10_000):
+            tracer.record("a", "e")
+        assert len(tracer) == 10_000
 
 
 class TestListeners:

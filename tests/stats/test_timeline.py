@@ -7,7 +7,6 @@ from repro.stats.timeline import (
 )
 from tests.conftest import drain, make_bare_system
 from repro.kernel.ids import ProcessAddress
-from repro.kernel.messages import MessageKind
 
 
 def parked(ctx):
