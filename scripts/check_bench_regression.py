@@ -15,7 +15,12 @@ Usage:
     python scripts/check_bench_regression.py \
         [--results benchmarks/results] \
         [--baselines benchmarks/baselines] \
-        [--tolerance 0.2]
+        [--tolerance 0.2] \
+        [--only 'BENCH_e11_*.json']
+
+``--only`` restricts the gate to baselines whose file name matches the
+glob, for CI jobs that run a subset of the benchmark suite (the other
+baselines would otherwise fail as "artifact missing").
 
 Exit codes: 0 ok, 1 regression or malformed artifact, 2 usage error
 (e.g. no artifacts found where they were expected).
@@ -24,6 +29,7 @@ Exit codes: 0 ok, 1 regression or malformed artifact, 2 usage error
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from pathlib import Path
@@ -102,12 +108,27 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="max allowed relative drift per metric (default 0.2)",
     )
+    parser.add_argument(
+        "--only", metavar="GLOB", default=None,
+        help="check only baselines whose file name matches this glob",
+    )
     args = parser.parse_args(argv)
 
     if args.tolerance < 0:
         parser.error("tolerance must be non-negative")
 
     baseline_paths = sorted(args.baselines.glob("BENCH_*.json"))
+    if args.only is not None:
+        baseline_paths = [
+            p for p in baseline_paths if fnmatch.fnmatch(p.name, args.only)
+        ]
+        if not baseline_paths:
+            print(
+                f"error: no baselines in {args.baselines} match "
+                f"{args.only!r}",
+                file=sys.stderr,
+            )
+            return 2
     if not baseline_paths:
         print(f"error: no baselines in {args.baselines}", file=sys.stderr)
         return 2

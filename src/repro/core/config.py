@@ -54,6 +54,10 @@ class SystemConfig:
     seed: int = 0
     trace_categories: tuple[str, ...] | None = None
     max_trace_records: int | None = 200_000
+    #: when False, the metrics registry hands out no-op instruments and
+    #: snapshots come back empty — for throughput benchmarks that only
+    #: read the kernels' plain integer counters
+    metrics_enabled: bool = True
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on inconsistent settings."""

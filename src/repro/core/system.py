@@ -72,7 +72,7 @@ class System:
         )
         self.rngs = RandomStreams(self.config.seed)
         #: the system-wide metrics registry every component publishes into
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(enabled=self.config.metrics_enabled)
         self.metrics.register_collector(self._publish_sim_metrics)
         #: migration spans assembled live from the tracer stream
         self.spans = SpanCollector(self.tracer)

@@ -286,10 +286,11 @@ class Kernel:
 
         self.processes[pid] = state
         self.stats.processes_spawned += 1
-        self.tracer.record(
-            "kernel", "spawn", pid=str(pid), name=state.name,
-            machine=self.machine,
-        )
+        if self.tracer.wants("kernel"):
+            self.tracer.record(
+                "kernel", "spawn", pid=str(pid), name=state.name,
+                machine=self.machine,
+            )
         self._make_runnable(state)
         if self.config.notify_process_manager:
             self._notify_process_manager(
@@ -329,9 +330,10 @@ class Kernel:
         del self.processes[pid]
         self.dead.add(pid)
         self.stats.processes_exited += 1
-        self.tracer.record(
-            "kernel", "exit", pid=str(pid), code=code, was=was.value,
-        )
+        if self.tracer.wants("kernel"):
+            self.tracer.record(
+                "kernel", "exit", pid=str(pid), code=code, was=was.value,
+            )
         # Garbage-collect forwarding addresses backwards along the path of
         # migration (paper §4).
         for previous in set(state.residence_history):
@@ -502,11 +504,12 @@ class Kernel:
     def _enqueue_for_process(self, state: ProcessState, msg: Message) -> None:
         state.message_queue.append(msg)
         self.stats.messages_delivered += 1
-        self.tracer.record(
-            "kernel", "deliver", pid=str(state.pid), op=msg.op,
-            sender=str(msg.sender.pid), serial=msg.serial,
-            fwd=msg.forward_count,
-        )
+        if self.tracer.wants("kernel"):
+            self.tracer.record(
+                "kernel", "deliver", pid=str(state.pid), op=msg.op,
+                sender=str(msg.sender.pid), serial=msg.serial,
+                fwd=msg.forward_count,
+            )
         self._try_satisfy_receive(state)
 
     def _forward(self, message: Message, forward_to: MachineId) -> None:
@@ -516,10 +519,12 @@ class Kernel:
         message.redirect(forward_to)
         self.stats.messages_forwarded += 1
         self._forward_hops.observe(message.forward_count)
-        self.tracer.record(
-            "forward", "hit", pid=str(message.dest.pid), op=message.op,
-            serial=message.serial, to=forward_to, hop=message.forward_count,
-        )
+        if self.tracer.wants("forward"):
+            self.tracer.record(
+                "forward", "hit", pid=str(message.dest.pid), op=message.op,
+                serial=message.serial, to=forward_to,
+                hop=message.forward_count,
+            )
         self.route_message(message)
         # "As a byproduct of forwarding, an attempt may be made to fix up
         # the link of the sending process."  Only process senders hold
@@ -538,10 +543,11 @@ class Kernel:
                 self.machine, update, sender_machine_of(message)
             )
             self.stats.link_updates_sent += 1
-            self.tracer.record(
-                "linkupd", "sent", sender=str(update.sender_pid),
-                target=str(update.target_pid), new_machine=forward_to,
-            )
+            if self.tracer.wants("linkupd"):
+                self.tracer.record(
+                    "linkupd", "sent", sender=str(update.sender_pid),
+                    target=str(update.target_pid), new_machine=forward_to,
+                )
             self.route_message(update_msg)
 
     # ------------------------------------------------------------------
@@ -677,10 +683,11 @@ class Kernel:
     def _handle_process_control(
         self, state: ProcessState, message: Message
     ) -> None:
-        self.tracer.record(
-            "kernel", "d2k", pid=str(state.pid), op=message.op,
-            fwd=message.forward_count,
-        )
+        if self.tracer.wants("kernel"):
+            self.tracer.record(
+                "kernel", "d2k", pid=str(state.pid), op=message.op,
+                fwd=message.forward_count,
+            )
         handler = self._process_control_handlers.get(message.op)
         if handler is None:
             self.tracer.record(
@@ -702,11 +709,12 @@ class Kernel:
         )
         self.stats.link_updates_applied += 1
         self.stats.links_retargeted += changed
-        self.tracer.record(
-            "linkupd", "applied", sender=str(update.sender_pid),
-            target=str(update.target_pid),
-            new_machine=update.new_machine, changed=changed,
-        )
+        if self.tracer.wants("linkupd"):
+            self.tracer.record(
+                "linkupd", "applied", sender=str(update.sender_pid),
+                target=str(update.target_pid),
+                new_machine=update.new_machine, changed=changed,
+            )
 
     def _on_forward_gc(self, message: Message) -> None:
         pid: ProcessId = message.payload["pid"]

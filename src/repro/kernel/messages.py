@@ -35,7 +35,7 @@ class MessageKind(Enum):
     NACK = "nack"  #: undeliverable notice (return-to-sender mode)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message in flight or queued.
 

@@ -21,6 +21,9 @@ class RoundRobinScheduler:
     def __init__(self, quantum: int = 1_000) -> None:
         self.quantum = quantum
         self._queues: dict[int, deque[ProcessId]] = {}
+        #: priority levels in dispatch order (descending); rebuilt only
+        #: when a new level appears, so pick_next never re-sorts
+        self._levels: list[int] = []
         self._queued: dict[ProcessId, int] = {}  # pid -> priority level
         self.running: ProcessId | None = None
 
@@ -36,6 +39,7 @@ class RoundRobinScheduler:
         if queue is None:
             queue = deque()
             self._queues[priority] = queue
+            self._levels = sorted(self._queues, reverse=True)
         queue.append(pid)
         self._queued[pid] = priority
 
@@ -48,7 +52,7 @@ class RoundRobinScheduler:
     def pick_next(self) -> ProcessId | None:
         """Pop the next process to run (highest priority, FIFO within),
         marking it as running."""
-        for priority in sorted(self._queues, reverse=True):
+        for priority in self._levels:
             queue = self._queues[priority]
             if queue:
                 pid = queue.popleft()
@@ -71,6 +75,6 @@ class RoundRobinScheduler:
     def queued_pids(self) -> list[ProcessId]:
         """Queue contents in dispatch order (diagnostics)."""
         out: list[ProcessId] = []
-        for priority in sorted(self._queues, reverse=True):
+        for priority in self._levels:
             out.extend(self._queues[priority])
         return out

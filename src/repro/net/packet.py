@@ -32,7 +32,7 @@ class PacketKind(Enum):
     ACK = "ack"  #: transport acknowledgement
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One frame on the simulated wire."""
 

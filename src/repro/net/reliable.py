@@ -47,22 +47,33 @@ MAX_RTO = 200_000
 StreamKey = tuple[MachineId, MachineId]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
-    """A data packet awaiting acknowledgement."""
+    """A data packet awaiting acknowledgement.
+
+    Carries its retransmission *deadline* instead of a dedicated timer
+    event: the send state runs one shared timer at the earliest deadline
+    of all its unacked packets, so acking a packet never has to cancel
+    anything and a burst of sends arms a single heap entry instead of
+    one per packet.
+    """
 
     packet: Packet
-    timer: ScheduledEvent
+    deadline: int
     rto: int
     attempts: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendState:
     """Per-addressed-destination sender state."""
 
     next_seq: int = 0
     unacked: dict[int, _Outstanding] = field(default_factory=dict)
+    #: the one armed timer for this destination (None when idle)
+    timer: ScheduledEvent | None = None
+    #: simulated time the armed timer fires at
+    timer_deadline: int = 0
 
 
 @dataclass
@@ -138,33 +149,58 @@ class ReliableTransport:
             category=category,
         )
         self._stats.note_send(packet)
-        timer = self._loop.call_after(
-            self._base_rto, self._retransmit, dst, seq
-        )
-        sender.unacked[seq] = _Outstanding(packet, timer, self._base_rto)
+        deadline = self._loop.now + self._base_rto
+        sender.unacked[seq] = _Outstanding(packet, deadline, self._base_rto)
+        self._arm_timer(dst, sender, deadline)
         self._transmit(packet)
 
-    def _retransmit(self, dst: MachineId, seq: int) -> None:
+    def _arm_timer(
+        self, dst: MachineId, sender: _SendState, deadline: int
+    ) -> None:
+        """Make sure the destination's timer fires by *deadline*.
+
+        Lazy re-arm: an already armed timer that fires earlier is left
+        alone (its wakeup re-arms for whatever is still pending); one
+        that fires later is cancelled and brought forward.
+        """
+        if sender.timer is not None and not sender.timer.cancelled:
+            if sender.timer_deadline <= deadline:
+                return
+            self._loop.cancel(sender.timer)
+        sender.timer = self._loop.call_at(deadline, self._on_timer, dst)
+        sender.timer_deadline = deadline
+
+    def _on_timer(self, dst: MachineId) -> None:
+        """Retransmit every packet to *dst* whose deadline has passed."""
         sender = self._send_state(dst)
-        entry = sender.unacked.get(seq)
-        if entry is None:
+        sender.timer = None
+        if not sender.unacked:
             return
-        entry.attempts += 1
-        entry.rto = min(entry.rto * RTO_BACKOFF, MAX_RTO)
-        entry.timer = self._loop.call_after(
-            entry.rto, self._retransmit, dst, seq
-        )
-        self._stats.note_send(entry.packet, retransmit=True)
-        if self._tracer is not None:
-            self._tracer.record(
-                "net",
-                "retransmit",
-                src=self.machine,
-                dst=dst,
-                seq=seq,
-                attempt=entry.attempts,
-            )
-        self._transmit(entry.packet)
+        now = self._loop.now
+        next_deadline: int | None = None
+        for seq, entry in sender.unacked.items():
+            if entry.deadline > now:
+                if next_deadline is None or entry.deadline < next_deadline:
+                    next_deadline = entry.deadline
+                continue
+            entry.attempts += 1
+            entry.rto = min(entry.rto * RTO_BACKOFF, MAX_RTO)
+            entry.deadline = now + entry.rto
+            if next_deadline is None or entry.deadline < next_deadline:
+                next_deadline = entry.deadline
+            self._stats.note_send(entry.packet, retransmit=True)
+            if self._tracer is not None:
+                self._tracer.record(
+                    "net",
+                    "retransmit",
+                    src=self.machine,
+                    dst=dst,
+                    seq=seq,
+                    attempt=entry.attempts,
+                )
+            self._transmit(entry.packet)
+        if next_deadline is not None:
+            self._arm_timer(dst, sender, next_deadline)
 
     @property
     def unacked_count(self) -> int:
@@ -201,10 +237,11 @@ class ReliableTransport:
         """
         abandoned = 0
         for sender in self._send_states.values():
-            for entry in sender.unacked.values():
-                self._loop.cancel(entry.timer)
-                abandoned += 1
+            abandoned += len(sender.unacked)
             sender.unacked.clear()
+            if sender.timer is not None:
+                self._loop.cancel(sender.timer)
+                sender.timer = None
         return abandoned
 
     # ------------------------------------------------------------------
@@ -222,9 +259,10 @@ class ReliableTransport:
         # The ack's source is the machine the data was *addressed* to
         # (its executor echoes that address), matching our send state.
         sender = self._send_state(packet.src)
-        entry = sender.unacked.pop(packet.payload, None)
-        if entry is not None:
-            self._loop.cancel(entry.timer)
+        sender.unacked.pop(packet.payload, None)
+        if not sender.unacked and sender.timer is not None:
+            self._loop.cancel(sender.timer)
+            sender.timer = None
 
     def _on_data(self, packet: Packet) -> None:
         stream = self._recv_state((packet.src, packet.dst))

@@ -110,7 +110,19 @@ class Topology:
         return hops
 
     def _compute_routes(self) -> None:
-        """Dijkstra from every source, weighted by wire latency."""
+        """Dijkstra from every source, weighted by wire latency.
+
+        Edges are scanned through per-machine adjacency lists built in
+        wire-insertion order — the same relative order the old
+        all-wires scan produced — so equal-cost tie-breaking (and hence
+        every cached route) is unchanged while the per-pop cost drops
+        from O(E) to O(degree).
+        """
+        adjacency: dict[MachineId, list[tuple[MachineId, int]]] = {
+            m: [] for m in self._machines
+        }
+        for (a, b), wire in self._wires.items():
+            adjacency[a].append((b, wire.latency))
         routes: dict[tuple[MachineId, MachineId], MachineId] = {}
         for source in self._machines:
             dist: dict[MachineId, int] = {source: 0}
@@ -120,10 +132,8 @@ class Topology:
                 d, here = heapq.heappop(heap)
                 if d > dist.get(here, d):
                     continue
-                for (a, b), wire in self._wires.items():
-                    if a != here:
-                        continue
-                    nd = d + wire.latency
+                for b, latency in adjacency[here]:
+                    nd = d + latency
                     if nd < dist.get(b, nd + 1):
                         dist[b] = nd
                         first[b] = first.get(here, b) if here != source else b

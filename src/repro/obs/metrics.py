@@ -241,18 +241,67 @@ class MetricsSnapshot:
         }
 
 
-class MetricsRegistry:
-    """Get-or-create instruments, pull collectors, take snapshots."""
+class NullCounter(Counter):
+    """A counter that discards updates (disabled registry)."""
 
-    def __init__(self) -> None:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set_total(self, value: float) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    """A gauge that discards updates (disabled registry)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    """A histogram that discards observations (disabled registry)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Get-or-create instruments, pull collectors, take snapshots.
+
+    A registry built with ``enabled=False`` hands out shared null
+    instruments whose update methods are no-ops, so hot paths keep their
+    unconditional ``instrument.inc()`` / ``.observe()`` calls and pay
+    only an empty method call when metrics are off.  Snapshots of a
+    disabled registry are empty and skip the pull collectors.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
         self._counters: dict[tuple[str, LabelSet], Counter] = {}
         self._gauges: dict[tuple[str, LabelSet], Gauge] = {}
         self._histograms: dict[tuple[str, LabelSet], Histogram] = {}
         self._collectors: list[Callable[[MetricsRegistry], None]] = []
+        self._null_counter = NullCounter("_disabled", ())
+        self._null_gauge = NullGauge("_disabled", ())
+        self._null_histogram = NullHistogram("_disabled", ())
 
     # -- instruments ----------------------------------------------------
 
     def counter(self, name: str, **labels: Any) -> Counter:
+        if not self.enabled:
+            return self._null_counter
         key = (name, _labelset(labels))
         instrument = self._counters.get(key)
         if instrument is None:
@@ -260,6 +309,8 @@ class MetricsRegistry:
         return instrument
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
+        if not self.enabled:
+            return self._null_gauge
         key = (name, _labelset(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
@@ -272,6 +323,8 @@ class MetricsRegistry:
         buckets: Iterable[float] | None = None,
         **labels: Any,
     ) -> Histogram:
+        if not self.enabled:
+            return self._null_histogram
         key = (name, _labelset(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
@@ -294,8 +347,9 @@ class MetricsRegistry:
 
     def snapshot(self) -> MetricsSnapshot:
         """Run collectors, then freeze every instrument."""
-        for collector in self._collectors:
-            collector(self)
+        if self.enabled:
+            for collector in self._collectors:
+                collector(self)
 
         def group(instruments: dict[tuple[str, LabelSet], Any], value_of):
             out: dict[str, dict[LabelSet, Any]] = {}

@@ -3,18 +3,21 @@
 Events are ordered by (time, sequence-number): two events scheduled for the
 same instant fire in the order they were scheduled, which keeps every run
 of the simulator bit-for-bit reproducible.
+
+:class:`ScheduledEvent` is a hand-rolled ``__slots__`` class rather than a
+dataclass: the heap compares events millions of times per benchmark run and
+the dataclass-generated ``__lt__`` allocates a ``(time, seq)`` tuple per
+comparison, which dominated the profile at cluster scale.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ClockError
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """A callback registered to fire at a simulated instant.
 
@@ -23,11 +26,45 @@ class ScheduledEvent:
     when popping instead of paying O(n) removal.
     """
 
-    time: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __le__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq <= other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduledEvent):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.seq))
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduledEvent(time={self.time}, seq={self.seq},"
+            f" cancelled={self.cancelled})"
+        )
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -39,12 +76,17 @@ class ScheduledEvent:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`ScheduledEvent`."""
+    """A deterministic priority queue of :class:`ScheduledEvent`.
+
+    The heap holds ``(time, seq, event)`` tuples rather than the events
+    themselves: ``(time, seq)`` is unique, so sift comparisons resolve on
+    the integer pair in C and never call back into Python.
+    """
 
     __slots__ = ("_heap", "_next_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[int, int, ScheduledEvent]] = []
         self._next_seq = 0
         self._live = 0
 
@@ -61,9 +103,10 @@ class EventQueue:
         """Schedule *callback(*args)* at simulated time *time*."""
         if time < 0:
             raise ClockError(f"cannot schedule event at negative time {time}")
-        event = ScheduledEvent(time, self._next_seq, callback, args)
-        self._next_seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -73,20 +116,20 @@ class EventQueue:
 
     def peek_time(self) -> int | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        self._drop_dead()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def pop(self) -> ScheduledEvent | None:
         """Remove and return the next live event, or ``None`` if empty."""
-        self._drop_dead()
-        if not self._heap:
-            return None
-        event = heapq.heappop(self._heap)
-        self._live -= 1
-        return event
-
-    def _drop_dead(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            event = pop(heap)[2]
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None

@@ -68,7 +68,10 @@ class EventLoop:
         """Schedule *callback* *delay* microseconds from now."""
         if delay < 0:
             raise ClockError(f"negative delay {delay}")
-        return self.call_at(self.clock.now + delay, callback, *args)
+        # now + delay can never be in the past, so push directly instead
+        # of revalidating through call_at (this is the hottest scheduling
+        # entry point in the simulator).
+        return self._queue.push(self.clock._now + delay, callback, args)
 
     def call_soon(
         self,
@@ -76,7 +79,7 @@ class EventLoop:
         *args: Any,
     ) -> ScheduledEvent:
         """Schedule *callback* at the current instant (after queued peers)."""
-        return self.call_at(self.clock.now, callback, *args)
+        return self._queue.push(self.clock._now, callback, args)
 
     def cancel(self, event: ScheduledEvent) -> None:
         """Cancel a scheduled event.  Idempotent."""
@@ -100,18 +103,39 @@ class EventLoop:
         Returns the number of events executed by this call.  A
         *max_events* bound is the standard guard against accidental
         infinite event cascades in tests.
+
+        The pop/advance/fire sequence is inlined here (rather than
+        delegating to :meth:`step`) because this loop executes every
+        event in every benchmark; the heap already yields events in
+        non-decreasing time order, so the clock write needs no
+        backwards-motion check.
         """
         if self._running:
             raise SimulationError("event loop is already running")
         self._running = True
         fired = 0
+        queue_pop = self._queue.pop
+        clock = self.clock
         try:
-            while max_events is None or fired < max_events:
-                if not self.step():
-                    break
-                fired += 1
+            if max_events is None:
+                while True:
+                    event = queue_pop()
+                    if event is None:
+                        break
+                    clock._now = event.time
+                    event.callback(*event.args)
+                    fired += 1
+            else:
+                while fired < max_events:
+                    event = queue_pop()
+                    if event is None:
+                        break
+                    clock._now = event.time
+                    event.callback(*event.args)
+                    fired += 1
         finally:
             self._running = False
+            self._events_fired += fired
         return fired
 
     def run_until(self, deadline: int, max_events: int | None = None) -> int:
@@ -128,16 +152,32 @@ class EventLoop:
             raise SimulationError("event loop is already running")
         self._running = True
         fired = 0
+        queue = self._queue
+        queue_pop = queue.pop
+        clock = self.clock
         try:
-            while max_events is None or fired < max_events:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > deadline:
-                    break
-                self.step()
-                fired += 1
+            if max_events is None:
+                while True:
+                    next_time = queue.peek_time()
+                    if next_time is None or next_time > deadline:
+                        break
+                    event = queue_pop()
+                    clock._now = event.time
+                    event.callback(*event.args)
+                    fired += 1
+            else:
+                while fired < max_events:
+                    next_time = queue.peek_time()
+                    if next_time is None or next_time > deadline:
+                        break
+                    event = queue_pop()
+                    clock._now = event.time
+                    event.callback(*event.args)
+                    fired += 1
             self.clock.advance_to(deadline)
         finally:
             self._running = False
+            self._events_fired += fired
         return fired
 
     def __repr__(self) -> str:

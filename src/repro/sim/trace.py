@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced event."""
 
@@ -41,6 +41,8 @@ class Tracer:
     - ``policy``    migration decisions
     """
 
+    __slots__ = ("_clock_fn", "_records", "_enabled", "_listeners", "dropped")
+
     def __init__(
         self,
         clock_fn: Callable[[], int],
@@ -58,6 +60,23 @@ class Tracer:
     def enabled(self, category: str) -> bool:
         """Whether records in *category* are currently collected."""
         return self._enabled is None or category in self._enabled
+
+    def wants(self, category: str) -> bool:
+        """Guard for hot call sites: skip building the record entirely.
+
+        Returns whether *category* is collected — and, when it is not,
+        counts the suppressed record in :attr:`dropped`, exactly as the
+        unguarded ``record()`` call would have.  Use as::
+
+            if tracer.wants("kernel"):
+                tracer.record("kernel", "deliver", pid=str(pid), ...)
+
+        so the field formatting is never paid when tracing is off.
+        """
+        if self._enabled is None or category in self._enabled:
+            return True
+        self.dropped += 1
+        return False
 
     def record(self, category: str, event: str, **fields: Any) -> None:
         """Record one event if its category is enabled."""
