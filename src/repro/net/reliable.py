@@ -171,23 +171,31 @@ class ReliableTransport:
         sender.timer_deadline = deadline
 
     def _on_timer(self, dst: MachineId) -> None:
-        """Retransmit every packet to *dst* whose deadline has passed."""
+        """Retransmit every packet to *dst* whose deadline has passed.
+
+        Transmits can loop straight back into this transport: when this
+        machine executes a crashed *dst*, the network delivers the packet
+        locally and the resulting ack pops ``sender.unacked`` before
+        ``_transmit`` returns.  So the scan collects expired entries from
+        a snapshot, transmits afterwards (skipping anything acked
+        mid-burst), and recomputes the next deadline from the live dict.
+        """
         sender = self._send_state(dst)
         sender.timer = None
         if not sender.unacked:
             return
         now = self._loop.now
-        next_deadline: int | None = None
-        for seq, entry in sender.unacked.items():
-            if entry.deadline > now:
-                if next_deadline is None or entry.deadline < next_deadline:
-                    next_deadline = entry.deadline
-                continue
+        expired = [
+            (seq, entry)
+            for seq, entry in sender.unacked.items()
+            if entry.deadline <= now
+        ]
+        for seq, entry in expired:
+            if seq not in sender.unacked:
+                continue  # acked by a synchronous loop-back transmit
             entry.attempts += 1
             entry.rto = min(entry.rto * RTO_BACKOFF, MAX_RTO)
             entry.deadline = now + entry.rto
-            if next_deadline is None or entry.deadline < next_deadline:
-                next_deadline = entry.deadline
             self._stats.note_send(entry.packet, retransmit=True)
             if self._tracer is not None:
                 self._tracer.record(
@@ -199,8 +207,12 @@ class ReliableTransport:
                     attempt=entry.attempts,
                 )
             self._transmit(entry.packet)
-        if next_deadline is not None:
-            self._arm_timer(dst, sender, next_deadline)
+        if sender.unacked:
+            self._arm_timer(
+                dst,
+                sender,
+                min(e.deadline for e in sender.unacked.values()),
+            )
 
     @property
     def unacked_count(self) -> int:

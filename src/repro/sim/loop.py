@@ -123,19 +123,20 @@ class EventLoop:
                     if event is None:
                         break
                     clock._now = event.time
-                    event.callback(*event.args)
                     fired += 1
+                    self._events_fired += 1
+                    event.callback(*event.args)
             else:
                 while fired < max_events:
                     event = queue_pop()
                     if event is None:
                         break
                     clock._now = event.time
-                    event.callback(*event.args)
                     fired += 1
+                    self._events_fired += 1
+                    event.callback(*event.args)
         finally:
             self._running = False
-            self._events_fired += fired
         return fired
 
     def run_until(self, deadline: int, max_events: int | None = None) -> int:
@@ -163,8 +164,9 @@ class EventLoop:
                         break
                     event = queue_pop()
                     clock._now = event.time
-                    event.callback(*event.args)
                     fired += 1
+                    self._events_fired += 1
+                    event.callback(*event.args)
             else:
                 while fired < max_events:
                     next_time = queue.peek_time()
@@ -172,12 +174,12 @@ class EventLoop:
                         break
                     event = queue_pop()
                     clock._now = event.time
-                    event.callback(*event.args)
                     fired += 1
+                    self._events_fired += 1
+                    event.callback(*event.args)
             self.clock.advance_to(deadline)
         finally:
             self._running = False
-            self._events_fired += fired
         return fired
 
     def __repr__(self) -> str:

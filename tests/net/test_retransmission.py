@@ -62,6 +62,30 @@ class TestRetransmission:
         loop.run()
         assert [p for _, p in inbox] == list(range(30))
 
+    def test_retransmit_toward_crashed_machine_we_execute(self):
+        # Regression: when the sender is also the executor for a crashed
+        # destination, the network hands retransmitted packets straight
+        # back to the sender's own transport, and the resulting ack pops
+        # the unacked dict while _on_timer is walking it.  This used to
+        # raise "dictionary changed size during iteration"; now the
+        # stream must settle to quiescence.
+        loop, net, inbox = make_pair(
+            faults=FaultPlan(drop_probability=1.0), rto=1_000,
+        )
+        for i in range(5):
+            net.send(0, 1, i, 8)
+        loop.run_until(2_500)  # at least one retransmission pass
+        assert inbox == []
+        net.crash_machine(1, executor=0)
+        net.set_faults(FaultPlan())  # network heals
+        loop.run()
+        # The executor absorbed machine 1's streams: every payload is
+        # delivered (to its receiver) exactly once and nothing is left
+        # in flight or awaiting an ack.
+        assert net.quiescent()
+        deliveries = net.stats.delivered_by_category.get("user", 0)
+        assert deliveries == 5
+
     def test_custom_rto_honoured(self):
         loop, net, inbox = make_pair(
             faults=FaultPlan(drop_probability=1.0), rto=50_000,
