@@ -48,6 +48,7 @@ class ClusterParams:
     compute_work: int  #: CPU us per compute job
     server_moves: int  #: echo servers force-migrated mid-run
     duration: int  #: run_until horizon before draining
+    topology: str = "mesh"  #: SystemConfig topology shape
 
 
 FULL = ClusterParams(
@@ -75,11 +76,44 @@ SMOKE = ClusterParams(
     duration=900_000,
 )
 
+#: 256 machines on a 16x16 torus (degree 4, diameter 16): multi-hop
+#: routing, forwarding chains that actually span the network, and a
+#: machine count where the retired all-pairs route precomputation was
+#: a measurable start-up tax.  Per-server workload is lighter than FULL
+#: because every message now pays ~8 hops instead of 1.
+SPARSE = ClusterParams(
+    name="e11_cluster_sparse",
+    machines=256,
+    pingers_per_server=2,
+    ping_rounds=12,
+    compute_rate_per_ms=0.5,
+    compute_window=400_000,
+    compute_work=40_000,
+    server_moves=32,
+    duration=1_500_000,
+    topology="torus",
+)
+
+#: reduced sparse scenario for CI: same torus shape, 16 machines (4x4)
+SPARSE_SMOKE = ClusterParams(
+    name="e11_sparse_smoke",
+    machines=16,
+    pingers_per_server=2,
+    ping_rounds=6,
+    compute_rate_per_ms=0.25,
+    compute_window=300_000,
+    compute_work=40_000,
+    server_moves=8,
+    duration=900_000,
+    topology="torus",
+)
+
 
 def run_cluster(p: ClusterParams) -> dict:
     board = ResultsBoard()
     system = make_system(
         machines=p.machines,
+        topology=p.topology,
         trace_categories=(),  # tracing off: measure the bare hot path
         metrics_enabled=False,  # registry hands out no-op instruments
     )
@@ -206,6 +240,7 @@ def _report(p: ClusterParams, result: dict) -> None:
         metrics,
         meta={
             "machines": p.machines,
+            "topology": p.topology,
             "events_fired": result["events_fired"],
             "wall_seconds": round(result["wall_seconds"], 3),
             "events_per_sec": round(events_per_sec),
@@ -239,3 +274,15 @@ def test_e11_cluster_smoke(bench_once):
     result = bench_once(run_cluster, SMOKE)
     _report(SMOKE, result)
     _check(SMOKE, result)
+
+
+def test_e11_cluster_sparse(bench_once):
+    result = bench_once(run_cluster, SPARSE)
+    _report(SPARSE, result)
+    _check(SPARSE, result)
+
+
+def test_e11_sparse_smoke(bench_once):
+    result = bench_once(run_cluster, SPARSE_SMOKE)
+    _report(SPARSE_SMOKE, result)
+    _check(SPARSE_SMOKE, result)

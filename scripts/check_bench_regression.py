@@ -18,9 +18,13 @@ Usage:
         [--tolerance 0.2] \
         [--only 'BENCH_e11_*.json']
 
-``--only`` restricts the gate to baselines whose file name matches the
+``--only`` restricts the gate to artifacts whose file name matches the
 glob, for CI jobs that run a subset of the benchmark suite (the other
 baselines would otherwise fail as "artifact missing").
+
+A results artifact with no committed baseline also fails the gate: a
+new benchmark must land together with its baseline, otherwise its
+counters are silently ungated until someone notices.
 
 Exit codes: 0 ok, 1 regression or malformed artifact, 2 usage error
 (e.g. no artifacts found where they were expected).
@@ -158,6 +162,20 @@ def main(argv: list[str] | None = None) -> int:
             args.tolerance,
         ))
         compared += 1
+
+    baseline_names = {p.name for p in baseline_paths}
+    unbaselined = sorted(
+        p.name
+        for p in args.results.glob("BENCH_*.json")
+        if p.name not in baseline_names
+        and (args.only is None or fnmatch.fnmatch(p.name, args.only))
+    )
+    for name in unbaselined:
+        problems.append(
+            f"{name}: no committed baseline — copy the artifact to "
+            f"{args.baselines}/{name} (after checking its metrics are "
+            f"deterministic across two runs)"
+        )
 
     if problems:
         print(f"FAIL: {len(problems)} problem(s) across "

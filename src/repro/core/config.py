@@ -15,7 +15,9 @@ from repro.kernel.kernel import UndeliverablePolicy
 from repro.net.channel import FaultPlan
 
 #: Topology shapes :func:`repro.core.system.System` knows how to build.
-TOPOLOGY_SHAPES = ("mesh", "line", "ring", "star")
+TOPOLOGY_SHAPES = (
+    "mesh", "line", "ring", "star", "torus", "hypercube", "cliques",
+)
 
 
 @dataclass
@@ -67,6 +69,13 @@ class SystemConfig:
             raise ConfigError(
                 f"unknown topology {self.topology!r}; "
                 f"choose from {TOPOLOGY_SHAPES}"
+            )
+        if self.topology == "hypercube" and (
+            self.machines & (self.machines - 1)
+        ):
+            raise ConfigError(
+                f"hypercube needs a power-of-two machine count, "
+                f"got {self.machines}"
             )
         if self.latency < 0 or self.bandwidth <= 0:
             raise ConfigError("latency must be >= 0 and bandwidth > 0")

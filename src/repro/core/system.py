@@ -41,6 +41,22 @@ from repro.stats.migration_cost import MigrationCostRecord
 Program = Callable[[ProcessContext], Any]
 
 
+def _near_square_factor(n: int) -> int:
+    """The largest divisor of *n* that is <= sqrt(n).
+
+    Shapes a machine count into the most-square grid (torus) or pod
+    layout (cliques) it divides into; for a prime count this degenerates
+    to 1 x n, which is still a valid (ring-like) arrangement.
+    """
+    factor = 1
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factor = d
+        d += 1
+    return factor
+
+
 @dataclass
 class MigrationTicket:
     """Tracks one requested migration to completion."""
@@ -112,15 +128,26 @@ class System:
             self.start_load_reporting()
 
     def _build_topology(self) -> Topology:
+        shape = self.config.topology
+        n = self.config.machines
+        latency = self.config.latency
+        bandwidth = self.config.bandwidth
+        if shape == "torus":
+            rows = _near_square_factor(n)
+            return Topology.torus2d(rows, n // rows, latency, bandwidth)
+        if shape == "hypercube":
+            # validate() guarantees n is a power of two
+            return Topology.hypercube(n.bit_length() - 1, latency, bandwidth)
+        if shape == "cliques":
+            size = _near_square_factor(n)
+            return Topology.ring_of_cliques(n // size, size, latency, bandwidth)
         builder = {
             "mesh": Topology.full_mesh,
             "line": Topology.line,
             "ring": Topology.ring,
             "star": Topology.star,
-        }[self.config.topology]
-        return builder(
-            self.config.machines, self.config.latency, self.config.bandwidth
-        )
+        }[shape]
+        return builder(n, latency, bandwidth)
 
     def _kernel_config(self) -> KernelConfig:
         cfg = self.config

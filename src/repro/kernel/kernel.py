@@ -89,6 +89,14 @@ if TYPE_CHECKING:  # pragma: no cover - circular-import guard
 
 ProgramFactory = Callable[[ProcessContext], Any]
 
+# Module-level aliases for the statuses the delivery and dispatch hot
+# paths test on every message/resume; a global load is cheaper than the
+# enum class-attribute chain at these call frequencies.
+_READY = ProcessStatus.READY
+_RUNNING = ProcessStatus.RUNNING
+_WAITING_MESSAGE = ProcessStatus.WAITING_MESSAGE
+_IN_MIGRATION = ProcessStatus.IN_MIGRATION
+
 
 class UndeliverablePolicy(Enum):
     """What to do with a message whose destination is not here.
@@ -206,6 +214,12 @@ class Kernel:
         self.scheduler = RoundRobinScheduler(self.config.quantum)
         self.memory = MemoryManager(self.config.memory_capacity)
         self.stats = KernelStats()
+        # Bound-method locals for the delivery fast path.  The dicts and
+        # collaborators behind these are mutated but never reassigned, so
+        # the bindings stay valid for the kernel's lifetime.
+        self._processes_get = self.processes.get
+        self._forward_target = self.forwarding.forward_target
+        self._trace_wants = tracer.wants
         #: hop-count distribution of messages this kernel forwarded
         #: (paper §4: chains are the cost of lazy link updating)
         self._forward_hops = self.metrics.histogram(
@@ -219,6 +233,9 @@ class Kernel:
         #: set by crash recovery: a crashed kernel does nothing ever again
         self.crashed = False
         self._timers: dict[ProcessId, ScheduledEvent] = {}
+        #: a _flush_wakeups scheduler grant is already queued this tick;
+        #: a burst of N message wakeups costs one dispatch probe, not N
+        self._wakeup_flush_scheduled = False
         #: return-to-sender mode: messages parked while we locate their target
         self._awaiting_location: dict[ProcessId, list[Message]] = {}
         #: op -> handler for kernel-addressed control messages
@@ -235,6 +252,25 @@ class Kernel:
         #: returning True claims the message (used by the move-data engine
         #: to fail a blocked holder instead of hanging it)
         self.undeliverable_hooks: list[Callable[[Message], bool]] = []
+
+        #: exact-type syscall dispatch; insertion order mirrors the old
+        #: isinstance ladder so the subclass fallback scan behaves the same
+        self._syscall_table: dict[
+            type, Callable[[ProcessState, Any], None]
+        ] = {
+            Send: self._sys_send,
+            Receive: self._do_receive,
+            CreateLink: self._do_create_link,
+            DupLink: self._sys_dup_link,
+            DestroyLink: self._sys_destroy_link,
+            Compute: self._sys_compute,
+            Sleep: self._do_sleep,
+            MoveData: self._sys_move_data,
+            RequestMigration: self._sys_request_migration,
+            Exit: self._sys_exit,
+            GetInfo: self._sys_get_info,
+            Yield: self._sys_yield,
+        }
 
         self._register_base_handlers()
 
@@ -286,7 +322,7 @@ class Kernel:
 
         self.processes[pid] = state
         self.stats.processes_spawned += 1
-        if self.tracer.wants("kernel"):
+        if self._trace_wants("kernel"):
             self.tracer.record(
                 "kernel", "spawn", pid=str(pid), name=state.name,
                 machine=self.machine,
@@ -330,7 +366,7 @@ class Kernel:
         del self.processes[pid]
         self.dead.add(pid)
         self.stats.processes_exited += 1
-        if self.tracer.wants("kernel"):
+        if self._trace_wants("kernel"):
             self.tracer.record(
                 "kernel", "exit", pid=str(pid), code=code, was=was.value,
             )
@@ -470,19 +506,19 @@ class Kernel:
 
         This is the heart of migration transparency: the receiver may be a
         live process, the kernel itself, a forwarding address, or nothing.
+        The resident-process case — by far the most common — is resolved
+        with a single process-table probe; kernel addresses (which are
+        never in the process table) and forwarding addresses only pay
+        their own lookups after that probe misses.
         """
         if self.crashed:
             return
         pid = message.dest.pid
-        if pid.is_kernel:
-            self._handle_kernel_message(message)
-            return
-
-        state = self.processes.get(pid)
+        state = self._processes_get(pid)
         if state is not None:
             if (
                 message.deliver_to_kernel
-                and state.status is not ProcessStatus.IN_MIGRATION
+                and state.status is not _IN_MIGRATION
             ):
                 # Executed by the kernel on behalf of the process (§2.2).
                 self._handle_process_control(state, message)
@@ -494,7 +530,11 @@ class Kernel:
             self._enqueue_for_process(state, message)
             return
 
-        forward_to = self.forwarding.forward_target(pid)
+        if pid.is_kernel:
+            self._handle_kernel_message(message)
+            return
+
+        forward_to = self._forward_target(pid)
         if forward_to is not None:
             self._forward(message, forward_to)
             return
@@ -504,13 +544,34 @@ class Kernel:
     def _enqueue_for_process(self, state: ProcessState, msg: Message) -> None:
         state.message_queue.append(msg)
         self.stats.messages_delivered += 1
-        if self.tracer.wants("kernel"):
+        if self._trace_wants("kernel"):
             self.tracer.record(
                 "kernel", "deliver", pid=str(state.pid), op=msg.op,
                 sender=str(msg.sender.pid), serial=msg.serial,
                 fwd=msg.forward_count,
             )
-        self._try_satisfy_receive(state)
+        # Wakeup fast path.  The Receive is satisfied inline — timer
+        # cancel, message hand-off, READY, run-queue insert — so every
+        # other event in this tick observes exactly the state it always
+        # did.  Only the CPU grant is batched: all wakeups of a tick
+        # share one deferred _maybe_dispatch event instead of probing
+        # the scheduler once per delivered message.
+        if state.status is _WAITING_MESSAGE and isinstance(
+            state.pending_syscall, Receive
+        ):
+            self._cancel_timer(state.pid)
+            state.wake_deadline = None
+            self._hand_message(state)
+            state.status = _READY
+            self.scheduler.enqueue(state.pid, state.priority)
+            if not self._cpu_busy and not self._wakeup_flush_scheduled:
+                self._wakeup_flush_scheduled = True
+                self.loop.call_soon(self._flush_wakeups)
+
+    def _flush_wakeups(self) -> None:
+        """Grant the CPU once for all of this tick's message wakeups."""
+        self._wakeup_flush_scheduled = False
+        self._maybe_dispatch()
 
     def _forward(self, message: Message, forward_to: MachineId) -> None:
         """Redirect through a forwarding address (paper Figure 4-1), and
@@ -519,7 +580,7 @@ class Kernel:
         message.redirect(forward_to)
         self.stats.messages_forwarded += 1
         self._forward_hops.observe(message.forward_count)
-        if self.tracer.wants("forward"):
+        if self._trace_wants("forward"):
             self.tracer.record(
                 "forward", "hit", pid=str(message.dest.pid), op=message.op,
                 serial=message.serial, to=forward_to,
@@ -543,7 +604,7 @@ class Kernel:
                 self.machine, update, sender_machine_of(message)
             )
             self.stats.link_updates_sent += 1
-            if self.tracer.wants("linkupd"):
+            if self._trace_wants("linkupd"):
                 self.tracer.record(
                     "linkupd", "sent", sender=str(update.sender_pid),
                     target=str(update.target_pid), new_machine=forward_to,
@@ -683,7 +744,7 @@ class Kernel:
     def _handle_process_control(
         self, state: ProcessState, message: Message
     ) -> None:
-        if self.tracer.wants("kernel"):
+        if self._trace_wants("kernel"):
             self.tracer.record(
                 "kernel", "d2k", pid=str(state.pid), op=message.op,
                 fwd=message.forward_count,
@@ -709,7 +770,7 @@ class Kernel:
         )
         self.stats.link_updates_applied += 1
         self.stats.links_retargeted += changed
-        if self.tracer.wants("linkupd"):
+        if self._trace_wants("linkupd"):
             self.tracer.record(
                 "linkupd", "applied", sender=str(update.sender_pid),
                 target=str(update.target_pid),
@@ -809,19 +870,23 @@ class Kernel:
         """Give the CPU to the next ready process, if it is free."""
         if self._cpu_busy or self.crashed:
             return
+        scheduler = self.scheduler
+        processes_get = self._processes_get
         while True:
-            pid = self.scheduler.pick_next()
+            pid = scheduler.pick_next()
             if pid is None:
                 return
-            state = self.processes.get(pid)
-            if state is None or state.status is not ProcessStatus.READY:
-                self.scheduler.release_cpu(pid)
+            state = processes_get(pid)
+            if state is None or state.status is not _READY:
+                scheduler.release_cpu(pid)
                 continue
             break
-        state.status = ProcessStatus.RUNNING
+        state.status = _RUNNING
         self._cpu_busy = True
-        if state.compute_remaining > 0:
-            slice_len = min(self.config.quantum, state.compute_remaining)
+        remaining = state.compute_remaining
+        if remaining > 0:
+            quantum = self.config.quantum
+            slice_len = remaining if remaining < quantum else quantum
             self.loop.call_after(
                 slice_len, self._compute_slice_done, state.pid, slice_len
             )
@@ -873,14 +938,14 @@ class Kernel:
     def _resume_program(self, pid: ProcessId) -> None:
         if self.crashed:
             return
-        state = self.processes.get(pid)
+        state = self._processes_get(pid)
         if state is None:
             self._cpu_busy = False
             self.scheduler.release_cpu(pid)
             self._maybe_dispatch()
             return
         state.accounting.cpu_time += self.config.syscall_cpu_cost
-        if state.status is not ProcessStatus.RUNNING:
+        if state.status is not _RUNNING:
             # Migration or suspension won the race; resume later, elsewhere.
             self._release_cpu(pid)
             return
@@ -927,53 +992,71 @@ class Kernel:
             self._requeue(state)
 
     def _dispatch_syscall(self, state: ProcessState, syscall: Syscall) -> None:
-        if isinstance(syscall, Send):
-            self.send_from_process(state, syscall)
-            state.resume_value = None
-            self._requeue(state)
-        elif isinstance(syscall, Receive):
-            self._do_receive(state, syscall)
-        elif isinstance(syscall, CreateLink):
-            self._do_create_link(state, syscall)
-        elif isinstance(syscall, DupLink):
-            state.resume_value = state.link_table.dup(syscall.link_id)
-            self._requeue(state)
-        elif isinstance(syscall, DestroyLink):
-            state.link_table.remove(syscall.link_id)
-            state.resume_value = None
-            self._requeue(state)
-        elif isinstance(syscall, Compute):
-            state.compute_remaining = max(0, syscall.duration)
-            state.pending_syscall = syscall
-            self._requeue(state)
-        elif isinstance(syscall, Sleep):
-            self._do_sleep(state, syscall)
-        elif isinstance(syscall, MoveData):
-            self.transfers.start_move(state, syscall)
-        elif isinstance(syscall, RequestMigration):
-            state.resume_value = True
-            self._requeue(state)
-            self.migration.start(state.pid, syscall.destination)
-        elif isinstance(syscall, Exit):
-            self.terminate(state.pid, syscall.code)
-        elif isinstance(syscall, GetInfo):
-            state.resume_value = {
-                "pid": state.pid,
-                "machine": self.machine,
-                "now": self.loop.now,
-                "queue_length": len(state.message_queue),
-                "link_count": len(state.link_table),
-                "migrations": state.accounting.migrations,
-            }
-            self._requeue(state)
-        elif isinstance(syscall, Yield):
-            state.resume_value = None
-            self._requeue(state)
-        else:  # pragma: no cover - defensive
-            raise KernelError(f"unhandled syscall {syscall!r}")
+        # Exact-type table dispatch: one dict probe replaces the former
+        # isinstance ladder for every built-in syscall.  Subclasses (rare,
+        # but allowed) fall through to the isinstance scan, which walks
+        # the same table in the ladder's original order.
+        handler = self._syscall_table.get(syscall.__class__)
+        if handler is not None:
+            handler(state, syscall)
+            return
+        for klass, fallback in self._syscall_table.items():
+            if isinstance(syscall, klass):
+                fallback(state, syscall)
+                return
+        raise KernelError(f"unhandled syscall {syscall!r}")
+
+    def _sys_send(self, state: ProcessState, syscall: Send) -> None:
+        self.send_from_process(state, syscall)
+        state.resume_value = None
+        self._requeue(state)
+
+    def _sys_dup_link(self, state: ProcessState, syscall: DupLink) -> None:
+        state.resume_value = state.link_table.dup(syscall.link_id)
+        self._requeue(state)
+
+    def _sys_destroy_link(
+        self, state: ProcessState, syscall: DestroyLink
+    ) -> None:
+        state.link_table.remove(syscall.link_id)
+        state.resume_value = None
+        self._requeue(state)
+
+    def _sys_compute(self, state: ProcessState, syscall: Compute) -> None:
+        state.compute_remaining = max(0, syscall.duration)
+        state.pending_syscall = syscall
+        self._requeue(state)
+
+    def _sys_move_data(self, state: ProcessState, syscall: MoveData) -> None:
+        self.transfers.start_move(state, syscall)
+
+    def _sys_request_migration(
+        self, state: ProcessState, syscall: RequestMigration
+    ) -> None:
+        state.resume_value = True
+        self._requeue(state)
+        self.migration.start(state.pid, syscall.destination)
+
+    def _sys_exit(self, state: ProcessState, syscall: Exit) -> None:
+        self.terminate(state.pid, syscall.code)
+
+    def _sys_get_info(self, state: ProcessState, syscall: GetInfo) -> None:
+        state.resume_value = {
+            "pid": state.pid,
+            "machine": self.machine,
+            "now": self.loop.now,
+            "queue_length": len(state.message_queue),
+            "link_count": len(state.link_table),
+            "migrations": state.accounting.migrations,
+        }
+        self._requeue(state)
+
+    def _sys_yield(self, state: ProcessState, syscall: Yield) -> None:
+        state.resume_value = None
+        self._requeue(state)
 
     def _requeue(self, state: ProcessState) -> None:
-        state.status = ProcessStatus.READY
+        state.status = _READY
         self.scheduler.enqueue(state.pid, state.priority)
 
     def _do_receive(self, state: ProcessState, syscall: Receive) -> None:
@@ -1031,9 +1114,9 @@ class Kernel:
     def _try_satisfy_receive(self, state: ProcessState) -> None:
         """Wake a WAITING_MESSAGE process if a message is available."""
         if (
-            state.status is ProcessStatus.WAITING_MESSAGE
-            and isinstance(state.pending_syscall, Receive)
+            state.status is _WAITING_MESSAGE
             and state.message_queue
+            and isinstance(state.pending_syscall, Receive)
         ):
             self._cancel_timer(state.pid)
             state.wake_deadline = None

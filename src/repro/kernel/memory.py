@@ -85,23 +85,48 @@ class MemoryManager:
     bytes move, so a refused reservation aborts the migration cleanly.
     """
 
+    #: When True, every read of :attr:`used_bytes` re-derives the running
+    #: totals from scratch and asserts they match.  Off by default: the
+    #: O(segments) walk is exactly what the running totals exist to avoid.
+    AUDIT = False
+
     def __init__(self, capacity_bytes: int = 1 << 22) -> None:
         self.capacity_bytes = capacity_bytes
         self._images: dict[object, MemoryImage] = {}
         self._reserved: dict[object, int] = {}
         self.swap_outs = 0
         self.swap_ins = 0
+        # Running totals, updated at every residency transition (attach,
+        # detach, reserve, commit, cancel, swap in/out).  The balancer
+        # reads used_bytes once per process per decision tick, which made
+        # the per-call sum over every segment a cluster-scale hot spot.
+        self._resident_total = 0
+        self._reserved_total = 0
 
     @property
     def used_bytes(self) -> int:
         """Resident bytes plus outstanding reservations."""
-        resident = sum(img.resident_bytes for img in self._images.values())
-        return resident + sum(self._reserved.values())
+        if self.AUDIT:
+            self._audit_totals()
+        return self._resident_total + self._reserved_total
 
     @property
     def free_bytes(self) -> int:
         """Capacity not currently resident or reserved."""
-        return self.capacity_bytes - self.used_bytes
+        return self.capacity_bytes - self._resident_total - self._reserved_total
+
+    def _audit_totals(self) -> None:
+        """Recompute the totals from scratch and assert they agree."""
+        resident = sum(img.resident_bytes for img in self._images.values())
+        reserved = sum(self._reserved.values())
+        assert resident == self._resident_total, (
+            f"resident total drifted: running={self._resident_total}"
+            f" actual={resident}"
+        )
+        assert reserved == self._reserved_total, (
+            f"reserved total drifted: running={self._reserved_total}"
+            f" actual={reserved}"
+        )
 
     def attach(self, owner: object, image: MemoryImage) -> None:
         """Start accounting *image* against this machine's memory.
@@ -116,13 +141,16 @@ class MemoryManager:
                 f"only {self.free_bytes}B free"
             )
         self._images[owner] = image
+        self._resident_total += image.resident_bytes
 
     def detach(self, owner: object) -> MemoryImage:
         """Stop accounting *owner*'s image (process exit or migration)."""
         try:
-            return self._images.pop(owner)
+            image = self._images.pop(owner)
         except KeyError:
             raise MemoryError_(f"no image attached for {owner!r}") from None
+        self._resident_total -= image.resident_bytes
+        return image
 
     def reserve(self, owner: object, size_bytes: int) -> bool:
         """Reserve room for an incoming migration.  Returns success."""
@@ -130,24 +158,29 @@ class MemoryManager:
         if size_bytes > self.free_bytes:
             return False
         self._reserved[owner] = size_bytes
+        self._reserved_total += size_bytes
         return True
 
     def commit_reservation(self, owner: object, image: MemoryImage) -> None:
         """Replace a reservation with the real image that arrived."""
         if owner not in self._reserved:
             raise MemoryError_(f"no reservation held for {owner!r}")
-        del self._reserved[owner]
+        self._reserved_total -= self._reserved.pop(owner)
         self._images[owner] = image
+        self._resident_total += image.resident_bytes
 
     def cancel_reservation(self, owner: object) -> None:
         """Release a reservation (migration aborted)."""
-        self._reserved.pop(owner, None)
+        size = self._reserved.pop(owner, None)
+        if size is not None:
+            self._reserved_total -= size
 
     def swap_out(self, owner: object, kind: SegmentKind) -> None:
         """Push one segment to the (infinite) swap device."""
         segment = self._images[owner].segment(kind)
         if not segment.swapped_out:
             segment.swapped_out = True
+            self._resident_total -= segment.size_bytes
             self.swap_outs += 1
 
     def swap_in(self, owner: object, kind: SegmentKind) -> None:
@@ -160,6 +193,7 @@ class MemoryManager:
                     f"no room to swap in {segment.size_bytes}B"
                 )
             segment.swapped_out = False
+            self._resident_total += segment.size_bytes
             self.swap_ins += 1
 
     def _make_room(self, needed: int) -> None:
@@ -180,4 +214,5 @@ class MemoryManager:
             if needed <= self.free_bytes:
                 return
             seg.swapped_out = True
+            self._resident_total -= seg.size_bytes
             self.swap_outs += 1

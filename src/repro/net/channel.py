@@ -70,7 +70,10 @@ class Channel:
     def transmit(self, packet: Packet) -> None:
         """Put *packet* on the wire; it arrives (or not) later."""
         plan = self.faults
-        if plan.drop_probability and self._rng.random() < plan.drop_probability:
+        if (
+            plan.drop_probability
+            and self._rng.random() < plan.drop_probability
+        ):
             if self._on_drop is not None:
                 self._on_drop(packet)
             return

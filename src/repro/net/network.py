@@ -78,8 +78,10 @@ class Network:
     # Kernel-facing API
     # ------------------------------------------------------------------
 
-    def register_receiver(self, machine: MachineId, receiver: Receiver) -> None:
-        """Deliver all in-order payloads arriving at *machine* to *receiver*."""
+    def register_receiver(
+        self, machine: MachineId, receiver: Receiver
+    ) -> None:
+        """Deliver in-order payloads arriving at *machine* to *receiver*."""
         transport = self._transport(machine)
         transport.deliver_fn = receiver
 
@@ -113,7 +115,9 @@ class Network:
                 channel.faults = faults
             return
         if a is None or b is None:
-            raise UnknownMachineError("set_faults needs both machines or neither")
+            raise UnknownMachineError(
+                "set_faults needs both machines or neither"
+            )
         for pair in ((a, b), (b, a)):
             self._channel(*pair).faults = faults
 
@@ -158,7 +162,10 @@ class Network:
         abandoned = dead_transport.abandon_sends()
         if self.tracer is not None:
             self.tracer.record(
-                "net", "crash", machine=dead, executor=executor,
+                "net",
+                "crash",
+                machine=dead,
+                executor=executor,
                 abandoned_sends=abandoned,
             )
 
@@ -218,7 +225,11 @@ class Network:
         self.stats.note_drop()
         if self.tracer is not None:
             self.tracer.record(
-                "net", "drop", src=packet.src, dst=packet.dst, seq=packet.seq
+                "net",
+                "drop",
+                src=packet.src,
+                dst=packet.dst,
+                seq=packet.seq,
             )
 
     def _note_duplicate(self, packet: Packet) -> None:

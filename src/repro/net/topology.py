@@ -2,11 +2,17 @@
 
 A topology is a set of machines joined by point-to-point wires, each with a
 latency and a bandwidth.  Routing uses latency-weighted shortest paths
-(Dijkstra) computed once and cached; DEMOS/MP's network of Z8000s was
-small, and so are ours (2..64 machines), so precomputation is trivial.
+(Dijkstra).  Routes are computed per *source*, on demand, and cached until
+a wire changes: eager all-pairs precomputation was fine for DEMOS/MP-sized
+networks (2..64 machines) but is O(V * E log V) up front, which dominates
+start-up once clusters reach hundreds of machines where each kernel only
+ever routes from its own seat.
 
-Builders are provided for the shapes used in tests and benchmarks:
-full mesh (the default, matching a shared bus/LAN), line, ring, and star.
+Builders are provided for the shapes used in tests and benchmarks: full
+mesh (the default, matching a shared bus/LAN), line, ring, and star, plus
+the sparse shapes used at cluster scale — 2-D torus, hypercube, and
+ring-of-cliques — whose edge counts grow roughly linearly with machine
+count instead of quadratically.
 """
 
 from __future__ import annotations
@@ -41,7 +47,15 @@ class Topology:
     def __init__(self) -> None:
         self._machines: set[MachineId] = set()
         self._wires: dict[tuple[MachineId, MachineId], Wire] = {}
-        self._routes: dict[tuple[MachineId, MachineId], MachineId] | None = None
+        # Per-machine out-edges, maintained incrementally in wire-insertion
+        # order.  Reconnecting an existing pair replaces its entry in place,
+        # mirroring how dict reassignment keeps a key's position — so edge
+        # scan order (and hence equal-cost tie-breaking) is exactly what a
+        # fresh walk of _wires.items() would produce.
+        self._adjacency: dict[MachineId, list[tuple[MachineId, int]]] = {}
+        # Routing tables keyed by source, filled on first route from that
+        # source and discarded wholesale whenever a wire changes.
+        self._routes: dict[MachineId, dict[MachineId, MachineId]] = {}
 
     @property
     def machines(self) -> list[MachineId]:
@@ -50,8 +64,10 @@ class Topology:
 
     def add_machine(self, machine: MachineId) -> None:
         """Register a machine.  Idempotent."""
-        self._machines.add(machine)
-        self._routes = None
+        if machine not in self._machines:
+            self._machines.add(machine)
+            self._adjacency[machine] = []
+            self._routes.clear()
 
     def has_machine(self, machine: MachineId) -> bool:
         """Whether *machine* exists in this topology."""
@@ -67,9 +83,22 @@ class Topology:
         """Join machines *a* and *b* with a bidirectional wire."""
         self.add_machine(a)
         self.add_machine(b)
+        self._insert_edge(a, b, latency, bandwidth)
+        self._insert_edge(b, a, latency, bandwidth)
+        self._routes.clear()
+
+    def _insert_edge(
+        self, a: MachineId, b: MachineId, latency: int, bandwidth: int
+    ) -> None:
+        if (a, b) in self._wires:
+            adjacency = self._adjacency[a]
+            for i, (m, _) in enumerate(adjacency):
+                if m == b:
+                    adjacency[i] = (b, latency)
+                    break
+        else:
+            self._adjacency[a].append((b, latency))
         self._wires[(a, b)] = Wire(a, b, latency, bandwidth)
-        self._wires[(b, a)] = Wire(b, a, latency, bandwidth)
-        self._routes = None
 
     def wire(self, a: MachineId, b: MachineId) -> Wire:
         """The wire from *a* to *b* (adjacent machines only)."""
@@ -80,25 +109,23 @@ class Topology:
 
     def neighbors(self, machine: MachineId) -> list[MachineId]:
         """Machines directly wired to *machine*, sorted."""
-        return sorted(
-            dst for (src, dst) in self._wires if src == machine
-        )
+        return sorted(m for m, _ in self._adjacency.get(machine, ()))
 
     def next_hop(self, src: MachineId, dst: MachineId) -> MachineId:
         """First machine on the shortest path from *src* to *dst*."""
-        if src not in self._machines:
-            raise UnknownMachineError(f"unknown machine {src}")
+        routes = self._routes.get(src)
+        if routes is None:
+            routes = self._routes_from(src)
+        hop = routes.get(dst)
+        if hop is not None:
+            return hop
+        # Miss: tell apart self-delivery, an unknown destination, and a
+        # partitioned one (src was validated by _routes_from).
         if dst not in self._machines:
             raise UnknownMachineError(f"unknown machine {dst}")
         if src == dst:
             return dst
-        if self._routes is None:
-            self._compute_routes()
-        assert self._routes is not None
-        try:
-            return self._routes[(src, dst)]
-        except KeyError:
-            raise NoRouteError(f"no route {src} -> {dst}") from None
+        raise NoRouteError(f"no route {src} -> {dst}")
 
     def path(self, src: MachineId, dst: MachineId) -> list[MachineId]:
         """Full machine sequence from *src* to *dst*, inclusive."""
@@ -109,38 +136,33 @@ class Topology:
             hops.append(here)
         return hops
 
-    def _compute_routes(self) -> None:
-        """Dijkstra from every source, weighted by wire latency.
+    def _routes_from(self, source: MachineId) -> dict[MachineId, MachineId]:
+        """Dijkstra from one source, weighted by wire latency.
 
-        Edges are scanned through per-machine adjacency lists built in
-        wire-insertion order — the same relative order the old
-        all-wires scan produced — so equal-cost tie-breaking (and hence
-        every cached route) is unchanged while the per-pop cost drops
-        from O(E) to O(degree).
+        The relaxation loop (strict ``<``, ``(dist, machine)`` heap
+        entries, adjacency scanned in wire-insertion order) is kept
+        identical to the retired all-pairs precomputation so every
+        next-hop it produced is reproduced bit for bit — only *when*
+        routes are computed changed, not *what* they are.
         """
-        adjacency: dict[MachineId, list[tuple[MachineId, int]]] = {
-            m: [] for m in self._machines
-        }
-        for (a, b), wire in self._wires.items():
-            adjacency[a].append((b, wire.latency))
-        routes: dict[tuple[MachineId, MachineId], MachineId] = {}
-        for source in self._machines:
-            dist: dict[MachineId, int] = {source: 0}
-            first: dict[MachineId, MachineId] = {}
-            heap: list[tuple[int, MachineId]] = [(0, source)]
-            while heap:
-                d, here = heapq.heappop(heap)
-                if d > dist.get(here, d):
-                    continue
-                for b, latency in adjacency[here]:
-                    nd = d + latency
-                    if nd < dist.get(b, nd + 1):
-                        dist[b] = nd
-                        first[b] = first.get(here, b) if here != source else b
-                        heapq.heappush(heap, (nd, b))
-            for dst, hop in first.items():
-                routes[(source, dst)] = hop
-        self._routes = routes
+        if source not in self._machines:
+            raise UnknownMachineError(f"unknown machine {source}")
+        adjacency = self._adjacency
+        dist: dict[MachineId, int] = {source: 0}
+        first: dict[MachineId, MachineId] = {}
+        heap: list[tuple[int, MachineId]] = [(0, source)]
+        while heap:
+            d, here = heapq.heappop(heap)
+            if d > dist.get(here, d):
+                continue
+            for b, latency in adjacency[here]:
+                nd = d + latency
+                if nd < dist.get(b, nd + 1):
+                    dist[b] = nd
+                    first[b] = first.get(here, b) if here != source else b
+                    heapq.heappush(heap, (nd, b))
+        self._routes[source] = first
+        return first
 
     # ------------------------------------------------------------------
     # Builders
@@ -203,4 +225,94 @@ class Topology:
             topo.add_machine(m)
         for m in range(1, n):
             topo.connect(0, m, latency, bandwidth)
+        return topo
+
+    # -- sparse shapes for cluster-scale runs --------------------------
+
+    @classmethod
+    def torus2d(
+        cls,
+        rows: int,
+        cols: int,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> "Topology":
+        """A rows x cols grid with wrap-around edges (degree <= 4).
+
+        Machine ``(r, c)`` is id ``r * cols + c``.  Wrap wires are only
+        added when a dimension exceeds two, since at length two the wrap
+        would duplicate the existing neighbour wire.
+        """
+        topo = cls()
+        for m in range(rows * cols):
+            topo.add_machine(m)
+        for r in range(rows):
+            for c in range(cols):
+                m = r * cols + c
+                if c + 1 < cols:
+                    topo.connect(m, m + 1, latency, bandwidth)
+                if r + 1 < rows:
+                    topo.connect(m, m + cols, latency, bandwidth)
+            if cols > 2:
+                topo.connect(r * cols + cols - 1, r * cols, latency, bandwidth)
+        if rows > 2:
+            for c in range(cols):
+                topo.connect((rows - 1) * cols + c, c, latency, bandwidth)
+        return topo
+
+    @classmethod
+    def hypercube(
+        cls,
+        dimensions: int,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> "Topology":
+        """A binary hypercube of ``2 ** dimensions`` machines.
+
+        Each machine links to the ids differing from it in exactly one
+        bit, giving degree == dimensions and diameter == dimensions.
+        """
+        topo = cls()
+        for m in range(1 << dimensions):
+            topo.add_machine(m)
+        for m in range(1 << dimensions):
+            for bit in range(dimensions):
+                peer = m ^ (1 << bit)
+                if peer > m:
+                    topo.connect(m, peer, latency, bandwidth)
+        return topo
+
+    @classmethod
+    def ring_of_cliques(
+        cls,
+        cliques: int,
+        clique_size: int,
+        latency: int = 100,
+        bandwidth: int = 1_000,
+    ) -> "Topology":
+        """Fully-meshed pods of ``clique_size`` machines joined in a ring.
+
+        Models racks on a backbone: clique *k* holds machines
+        ``k * clique_size .. (k + 1) * clique_size - 1`` and its first
+        member is the gateway wired to the neighbouring cliques'
+        gateways.
+        """
+        topo = cls()
+        for m in range(cliques * clique_size):
+            topo.add_machine(m)
+        for k in range(cliques):
+            base = k * clique_size
+            for a in range(clique_size):
+                for b in range(a + 1, clique_size):
+                    topo.connect(base + a, base + b, latency, bandwidth)
+        if cliques == 2:
+            topo.connect(0, clique_size, latency, bandwidth)
+        elif cliques > 2:
+            for k in range(cliques):
+                topo.connect(
+                    k * clique_size,
+                    ((k + 1) % cliques) * clique_size,
+                    latency,
+                    bandwidth,
+                )
         return topo

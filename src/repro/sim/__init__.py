@@ -6,7 +6,16 @@ structured tracer.  Everything above it (network, kernels, servers) is
 driven purely by events scheduled here.
 """
 
-from repro.sim.clock import MSEC, SEC, USEC, SimClock, format_time, msec, sec, usec
+from repro.sim.clock import (
+    MSEC,
+    SEC,
+    USEC,
+    SimClock,
+    format_time,
+    msec,
+    sec,
+    usec,
+)
 from repro.sim.events import EventQueue, ScheduledEvent
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RandomStreams

@@ -28,9 +28,7 @@ class RandomStreams:
         existing = self._streams.get(name)
         if existing is not None:
             return existing
-        digest = hashlib.sha256(
-            f"{self.root_seed}/{name}".encode()
-        ).digest()
+        digest = hashlib.sha256(f"{self.root_seed}/{name}".encode()).digest()
         stream = random.Random(int.from_bytes(digest[:8], "big"))
         self._streams[name] = stream
         return stream

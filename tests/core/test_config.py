@@ -17,11 +17,18 @@ class TestValidation:
 
     def test_bad_topology_rejected(self):
         with pytest.raises(ConfigError):
-            SystemConfig(topology="torus").validate()
+            SystemConfig(topology="moebius").validate()
 
     def test_all_shapes_accepted(self):
-        for shape in ("mesh", "line", "ring", "star"):
-            SystemConfig(topology=shape).validate()
+        for shape in (
+            "mesh", "line", "ring", "star", "torus", "hypercube", "cliques",
+        ):
+            SystemConfig(machines=4, topology=shape).validate()
+
+    def test_hypercube_requires_power_of_two(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(machines=6, topology="hypercube").validate()
+        SystemConfig(machines=8, topology="hypercube").validate()
 
     def test_negative_latency_rejected(self):
         with pytest.raises(ConfigError):

@@ -107,3 +107,43 @@ class TestMemoryManager:
         assert not manager.reserve("b", 400)
         code = manager._images["a"].segment(SegmentKind.CODE)
         assert not code.swapped_out
+
+
+class TestRunningTotalAudit:
+    """used_bytes is a pair of running totals; AUDIT re-derives them on
+    every read and asserts agreement, so driving a full residency life
+    cycle with it on proves the totals never drift."""
+
+    def test_audit_passes_through_full_lifecycle(self, monkeypatch):
+        monkeypatch.setattr(MemoryManager, "AUDIT", True)
+        manager = MemoryManager(capacity_bytes=1_000)
+        manager.attach("a", MemoryImage.sized(code=200, data=200, stack=100))
+        assert manager.used_bytes == 500
+        manager.swap_out("a", SegmentKind.DATA)
+        assert manager.used_bytes == 300
+        assert manager.reserve("b", 300)
+        assert manager.used_bytes == 600
+        manager.commit_reservation(
+            "b", MemoryImage.sized(code=100, data=100, stack=100)
+        )
+        assert manager.used_bytes == 600
+        manager.swap_in("a", SegmentKind.DATA)
+        assert manager.used_bytes == 800
+        assert manager.reserve("c", 150)
+        manager.cancel_reservation("c")
+        assert manager.used_bytes == 800
+        # Over-commit forces _make_room to swap victims out.
+        assert manager.reserve("d", 350)
+        assert manager.used_bytes <= 1_000
+        manager.detach("a")
+        manager.detach("b")
+        manager.cancel_reservation("d")
+        assert manager.used_bytes == 0
+
+    def test_audit_detects_a_drifted_total(self, monkeypatch):
+        monkeypatch.setattr(MemoryManager, "AUDIT", True)
+        manager = MemoryManager()
+        manager.attach("a", MemoryImage.sized())
+        manager._resident_total += 1  # simulate a bookkeeping bug
+        with pytest.raises(AssertionError):
+            manager.used_bytes

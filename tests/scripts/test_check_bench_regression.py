@@ -94,6 +94,24 @@ class TestComparison:
         assert run(results, baselines) == 1
         assert "missing" in capsys.readouterr().out
 
+    def test_result_without_baseline_fails(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"a": 1})
+        write_artifact(results, "e1", {"a": 1})
+        write_artifact(results, "e_new", {"fresh": 7})
+        assert run(results, baselines) == 1
+        out = capsys.readouterr().out
+        assert "BENCH_e_new.json" in out
+        assert "no committed baseline" in out
+
+    def test_only_glob_scopes_unbaselined_check(self, dirs):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"a": 1})
+        write_artifact(results, "e1", {"a": 1})
+        write_artifact(results, "e_new", {"fresh": 7})
+        # The new artifact is outside the subset this job gates.
+        assert run(results, baselines, "--only", "BENCH_e1.json") == 0
+
 
 class TestValidation:
     def test_wrong_schema_rejected(self, dirs, capsys):
