@@ -79,18 +79,37 @@ def _cmd_shell(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a closed-loop workload against a migrating server and report.
+
+    The scenario is deliberately user-facing: N simulated users in a
+    request/wait/think loop, with the server they talk to force-migrated
+    mid-conversation, so the report's request-latency percentiles carry
+    the cost of migration and forwarding — not just the counter totals.
+    """
+    from repro.workloads.closed_loop import ClientPool, ClosedLoopConfig
     from repro.workloads.compute import compute_bound
-    from repro.workloads.pingpong import echo_server, pinger
+    from repro.workloads.pingpong import echo_server
 
     system = System(SystemConfig(machines=args.machines))
-    system.spawn(lambda ctx: echo_server(ctx), machine=1, name="echo")
-    system.spawn(lambda ctx: pinger(ctx, rounds=5), machine=2, name="ping")
+    server = system.spawn(lambda ctx: echo_server(ctx), machine=1,
+                          name="echo")
+    pool = ClientPool(
+        system,
+        ClosedLoopConfig(clients=args.clients,
+                         requests_per_client=args.requests),
+    )
+    pool.install()
     jobs = [
         system.spawn(lambda ctx: compute_bound(ctx, total=30_000),
                      machine=0, name=f"job-{i}")
         for i in range(3)
     ]
     system.loop.call_at(10_000, lambda: system.migrate(jobs[0], 3))
+    # Move the server while the pool is mid-conversation: the latency
+    # tail in the report is the §6 migration cost as a user sees it.
+    system.loop.call_at(
+        30_000, lambda: system.migrate(server, args.machines - 1),
+    )
     system.run(until=2_000_000)
     report = collect_report(system)
     if args.json:
@@ -146,6 +165,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             r for r in system.tracer if r.category not in span_records
         ),
         metadata={"machines": args.machines, "pid": str(pid)},
+        metrics=system.metrics.snapshot(),
     )
     for span in system.spans.all_spans():
         print(
@@ -178,6 +198,14 @@ def main(argv: list[str] | None = None) -> int:
 
     report = sub.add_parser("report", help="run a workload, print a report")
     report.add_argument("--machines", type=int, default=4)
+    report.add_argument(
+        "--clients", type=int, default=4,
+        help="closed-loop clients driving the echo server (default: 4)",
+    )
+    report.add_argument(
+        "--requests", type=int, default=10,
+        help="requests each client completes (default: 10)",
+    )
     report.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable metrics snapshot instead of text",

@@ -84,8 +84,9 @@ class ProcessContext:
         deliver_to_kernel: bool = False,
     ) -> Send:
         """Send a message over *link_id*."""
-        return Send(link_id, op, payload, payload_bytes, links,
-                    deliver_to_kernel)
+        return Send(
+            link_id, op, payload, payload_bytes, links, deliver_to_kernel
+        )
 
     def receive(self, timeout: int | None = None) -> Receive:
         """Wait for the next incoming message."""

@@ -66,7 +66,9 @@ class TransferManager:
         self.failed_transfers = 0
         kernel.register_process_control(OP_DMA_READ_REQ, self._on_read_request)
         kernel.register_process_control(OP_DMA_READ_CHUNK, self._on_read_chunk)
-        kernel.register_process_control(OP_DMA_WRITE_CHUNK, self._on_write_chunk)
+        kernel.register_process_control(
+            OP_DMA_WRITE_CHUNK, self._on_write_chunk
+        )
         kernel.register_process_control(OP_TRANSFER_DONE, self._on_done)
         kernel.register_process_control(OP_DMA_ERROR, self._on_error)
         kernel.undeliverable_hooks.append(self._on_undeliverable)
@@ -198,7 +200,9 @@ class TransferManager:
         holder: ProcessAddress = payload["holder"]
         offset, length = payload["offset"], payload["length"]
         if not owner.memory.address_space_contains(offset, length):
-            self._send_error(holder, transfer_id, "window outside owner memory")
+            self._send_error(
+                holder, transfer_id, "window outside owner memory"
+            )
             return
         chunk = self.kernel.config.max_data_packet
         count = max(1, math.ceil(length / chunk))
@@ -208,8 +212,11 @@ class TransferManager:
             sent += nbytes
             self.kernel.send_to_process(
                 holder, OP_DMA_READ_CHUNK,
-                {"transfer_id": transfer_id, "nbytes": nbytes,
-                 "total": length},
+                {
+                    "transfer_id": transfer_id,
+                    "nbytes": nbytes,
+                    "total": length,
+                },
                 payload_bytes=nbytes,
                 deliver_to_kernel=True,
                 category="datamove",

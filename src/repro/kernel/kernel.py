@@ -313,8 +313,10 @@ class Kernel:
         self.memory.attach(pid, state.memory)
 
         ctx = ProcessContext(self, pid)
-        for service, address in {**self.well_known,
-                                 **(extra_links or {})}.items():
+        for service, address in {
+            **self.well_known,
+            **(extra_links or {}),
+        }.items():
             link_id = state.link_table.insert(Link(address))
             ctx.bootstrap[service] = link_id
         state.context = ctx
@@ -330,8 +332,8 @@ class Kernel:
         self._make_runnable(state)
         if self.config.notify_process_manager:
             self._notify_process_manager(
-                "process-created", {"pid": pid, "machine": self.machine,
-                                    "name": state.name},
+                "process-created",
+                {"pid": pid, "machine": self.machine, "name": state.name},
                 links=(self.control_link_snapshot(pid),),
             )
         return pid
@@ -409,8 +411,9 @@ class Kernel:
             payload=call.payload,
             payload_bytes=call.payload_bytes,
             links=enclosed,
-            deliver_to_kernel=(link.deliver_to_kernel
-                               or call.deliver_to_kernel),
+            deliver_to_kernel=(
+                link.deliver_to_kernel or call.deliver_to_kernel
+            ),
             category="user",
         )
         state.accounting.messages_sent += 1
@@ -661,8 +664,11 @@ class Kernel:
             sender=self.address,
             kind=MessageKind.NACK,
             op=OP_UNDELIVERABLE,
-            payload={"op": message.op, "dest": message.dest.pid,
-                     "dead": message.dest.pid in self.dead},
+            payload={
+                "op": message.op,
+                "dest": message.dest.pid,
+                "dead": message.dest.pid in self.dead,
+            },
             payload_bytes=8,
             category="nack",
         )
@@ -729,7 +735,9 @@ class Kernel:
         self.register_control(OP_SPAWN, self._on_spawn_request)
         self.register_process_control(OP_STOP_PROCESS, self._on_stop)
         self.register_process_control(OP_START_PROCESS, self._on_start)
-        self.register_process_control(OP_MIGRATE_PROCESS, self._on_migrate_directive)
+        self.register_process_control(
+            OP_MIGRATE_PROCESS, self._on_migrate_directive
+        )
 
     def _handle_kernel_message(self, message: Message) -> None:
         handler = self._control_handlers.get(message.op)
@@ -792,8 +800,11 @@ class Kernel:
             if reply_to is not None:
                 self.send_to_process(
                     reply_to, OP_SPAWN_REPLY,
-                    {"ok": False, "error": f"unknown program {name!r}",
-                     "req_id": req_id},
+                    {
+                        "ok": False,
+                        "error": f"unknown program {name!r}",
+                        "req_id": req_id,
+                    },
                     kind=MessageKind.USER, category="admin",
                 )
             return
@@ -809,8 +820,12 @@ class Kernel:
             # wherever it later moves.
             self.send_to_process(
                 reply_to, OP_SPAWN_REPLY,
-                {"ok": True, "pid": pid, "machine": self.machine,
-                 "req_id": req_id},
+                {
+                    "ok": True,
+                    "pid": pid,
+                    "machine": self.machine,
+                    "req_id": req_id,
+                },
                 kind=MessageKind.USER, category="admin",
                 links=(self.control_link_snapshot(pid),),
             )
@@ -859,7 +874,9 @@ class Kernel:
         try:
             return self.processes[pid]
         except KeyError:
-            raise UnknownProcessError(f"{pid} is not on machine {self.machine}") from None
+            raise UnknownProcessError(
+                f"{pid} is not on machine {self.machine}"
+            ) from None
 
     def _make_runnable(self, state: ProcessState) -> None:
         state.status = ProcessStatus.READY
@@ -1070,7 +1087,9 @@ class Kernel:
             state.wake_deadline = self.loop.now + syscall.timeout
             self._arm_timer(state.pid, syscall.timeout)
 
-    def _do_create_link(self, state: ProcessState, syscall: CreateLink) -> None:
+    def _do_create_link(
+        self, state: ProcessState, syscall: CreateLink
+    ) -> None:
         if syscall.data_area is not None and not (
             state.memory.address_space_contains(
                 syscall.data_area.offset, syscall.data_area.length

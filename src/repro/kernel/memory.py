@@ -73,7 +73,11 @@ class MemoryImage:
 
     def address_space_contains(self, offset: int, length: int) -> bool:
         """Whether [offset, offset+length) is a valid window of this image."""
-        return 0 <= offset and offset + length <= self.total_bytes and length >= 0
+        return (
+            0 <= offset
+            and offset + length <= self.total_bytes
+            and length >= 0
+        )
 
 
 class MemoryManager:
@@ -113,7 +117,9 @@ class MemoryManager:
     @property
     def free_bytes(self) -> int:
         """Capacity not currently resident or reserved."""
-        return self.capacity_bytes - self._resident_total - self._reserved_total
+        return (
+            self.capacity_bytes - self._resident_total - self._reserved_total
+        )
 
     def _audit_totals(self) -> None:
         """Recompute the totals from scratch and assert they agree."""
@@ -189,9 +195,7 @@ class MemoryManager:
         if segment.swapped_out:
             self._make_room(segment.size_bytes)
             if segment.size_bytes > self.free_bytes:
-                raise MemoryError_(
-                    f"no room to swap in {segment.size_bytes}B"
-                )
+                raise MemoryError_(f"no room to swap in {segment.size_bytes}B")
             segment.swapped_out = False
             self._resident_total += segment.size_bytes
             self.swap_ins += 1

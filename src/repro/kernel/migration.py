@@ -162,7 +162,9 @@ class MigrationEngine:
                 },
             },
         )
-        kernel.tracer.record("migrate", "step2-request", pid=str(pid), dest=dest)
+        kernel.tracer.record(
+            "migrate", "step2-request", pid=str(pid), dest=dest
+        )
         return True
 
     def _send_admin(
@@ -355,9 +357,7 @@ class MigrationEngine:
         metrics.histogram(
             "migration.admin_bytes_per_message",
             buckets=(6, 8, 10, 12, 16),
-        ).observe(
-            record.admin_bytes / max(1, record.admin_message_count)
-        )
+        ).observe(record.admin_bytes / max(1, record.admin_message_count))
 
     # ==================================================================
     # Destination side
@@ -393,8 +393,9 @@ class MigrationEngine:
         kernel.tracer.record(
             "migrate", "step3-allocate", pid=str(pid), bytes=total,
         )
-        self._send_admin(None, source, OP_MIGRATE_ACCEPT,
-                         {"pid": pid, "ok": True})
+        self._send_admin(
+            None, source, OP_MIGRATE_ACCEPT, {"pid": pid, "ok": True}
+        )
         # -- Step 4 begins: pull the first segment ----------------------
         self._request_segment(self._incoming[pid])
 
@@ -407,8 +408,11 @@ class MigrationEngine:
         )
         self._send_admin(
             None, entry.source, OP_SEG_REQUEST,
-            {"pid": entry.pid, "segment": segment,
-             "length": entry.sizes[segment]},
+            {
+                "pid": entry.pid,
+                "segment": segment,
+                "length": entry.sizes[segment],
+            },
         )
 
     def _on_data_chunk(self, message: Message) -> None:

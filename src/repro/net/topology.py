@@ -6,7 +6,10 @@ latency and a bandwidth.  Routing uses latency-weighted shortest paths
 a wire changes: eager all-pairs precomputation was fine for DEMOS/MP-sized
 networks (2..64 machines) but is O(V * E log V) up front, which dominates
 start-up once clusters reach hundreds of machines where each kernel only
-ever routes from its own seat.
+ever routes from its own seat.  The per-source cache is bounded (LRU,
+default 512 sources), so route memory stays O(limit * V) instead of
+O(V^2) even on topologies big enough that every machine eventually
+routes — an evicted source is simply recomputed on its next send.
 
 Builders are provided for the shapes used in tests and benchmarks: full
 mesh (the default, matching a shared bus/LAN), line, ring, and star, plus
@@ -18,12 +21,19 @@ count instead of quadratically.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import NoRouteError, UnknownMachineError
 
 #: Machines are identified by small integers, like DEMOS/MP processor ids.
 MachineId = int
+
+#: Default cap on cached per-source routing tables.  Kernels route from
+#: their own seat, so steady state needs one table per machine that
+#: actually sends; 512 covers every cluster size the benchmarks run
+#: while keeping worst-case memory O(limit * V) instead of O(V^2).
+DEFAULT_ROUTE_CACHE_LIMIT = 512
 
 
 @dataclass(frozen=True)
@@ -44,7 +54,13 @@ class Wire:
 class Topology:
     """The set of machines and wires, plus shortest-path routing."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, route_cache_limit: int = DEFAULT_ROUTE_CACHE_LIMIT
+    ) -> None:
+        if route_cache_limit < 1:
+            raise ValueError(
+                f"route_cache_limit must be positive, got {route_cache_limit}"
+            )
         self._machines: set[MachineId] = set()
         self._wires: dict[tuple[MachineId, MachineId], Wire] = {}
         # Per-machine out-edges, maintained incrementally in wire-insertion
@@ -54,8 +70,13 @@ class Topology:
         # fresh walk of _wires.items() would produce.
         self._adjacency: dict[MachineId, list[tuple[MachineId, int]]] = {}
         # Routing tables keyed by source, filled on first route from that
-        # source and discarded wholesale whenever a wire changes.
-        self._routes: dict[MachineId, dict[MachineId, MachineId]] = {}
+        # source, discarded wholesale whenever a wire changes, and bounded
+        # LRU-wise at route_cache_limit sources (least recently routed-from
+        # evicted first; a victim is simply recomputed on its next route).
+        self._routes: OrderedDict[
+            MachineId, dict[MachineId, MachineId]
+        ] = OrderedDict()
+        self._route_cache_limit = route_cache_limit
 
     @property
     def machines(self) -> list[MachineId]:
@@ -116,6 +137,8 @@ class Topology:
         routes = self._routes.get(src)
         if routes is None:
             routes = self._routes_from(src)
+        else:
+            self._routes.move_to_end(src)
         hop = routes.get(dst)
         if hop is not None:
             return hop
@@ -162,6 +185,8 @@ class Topology:
                     first[b] = first.get(here, b) if here != source else b
                     heapq.heappush(heap, (nd, b))
         self._routes[source] = first
+        if len(self._routes) > self._route_cache_limit:
+            self._routes.popitem(last=False)
         return first
 
     # ------------------------------------------------------------------

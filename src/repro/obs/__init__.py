@@ -20,10 +20,12 @@ from repro.obs.exporters import (
     write_chrome_trace,
 )
 from repro.obs.metrics import (
+    LATENCY_BUCKETS_US,
     Counter,
     Gauge,
     Histogram,
     HistogramSnapshot,
+    LatencyHistogram,
     MetricsRegistry,
     MetricsSnapshot,
 )
@@ -35,11 +37,13 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "LATENCY_BUCKETS_US",
     "MIGRATION_STEPS",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "LatencyHistogram",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Span",

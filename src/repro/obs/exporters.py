@@ -121,12 +121,17 @@ def chrome_trace(
     spans: Iterable[Span],
     records: Iterable[TraceRecord] = (),
     metadata: dict[str, Any] | None = None,
+    metrics: MetricsSnapshot | None = None,
 ) -> dict[str, Any]:
     """Build the full Chrome trace document.
 
     *spans* become span tracks; *records* (optionally the raw tracer
     stream, minus the migrate/forward/linkupd categories already carried
-    by the spans) become instant events.
+    by the spans) become instant events.  When a *metrics* snapshot is
+    given, its flat dict (counters, gauges, histograms — including
+    request-latency percentiles) rides along under
+    ``otherData.metrics``, so one trace file carries both the timeline
+    and the run's summary numbers.
     """
     tracks = _Tracks()
     events: list[dict[str, Any]] = []
@@ -135,10 +140,13 @@ def chrome_trace(
     for record in records:
         events.append(record_to_trace_event(record, tracks))
     events.extend(tracks.metadata_events())
+    other: dict[str, Any] = {"schema": TRACE_SCHEMA, **(metadata or {})}
+    if metrics is not None:
+        other["metrics"] = metrics.to_dict()
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"schema": TRACE_SCHEMA, **(metadata or {})},
+        "otherData": other,
     }
 
 
@@ -147,10 +155,11 @@ def write_chrome_trace(
     spans: Iterable[Span],
     records: Iterable[TraceRecord] = (),
     metadata: dict[str, Any] | None = None,
+    metrics: MetricsSnapshot | None = None,
 ) -> Path:
     """Serialise :func:`chrome_trace` to *path*; returns the path."""
     path = Path(path)
-    document = chrome_trace(spans, records, metadata)
+    document = chrome_trace(spans, records, metadata, metrics=metrics)
     path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
     return path
 

@@ -21,6 +21,7 @@ whole registry into a :class:`MetricsSnapshot` for reports and exporters.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -30,6 +31,15 @@ LabelSet = tuple[tuple[str, Any], ...]
 #: Default histogram bucket upper bounds (microseconds / bytes / counts
 #: all fit: powers of four give wide dynamic range with few buckets).
 DEFAULT_BUCKETS: tuple[float, ...] = tuple(4.0**i for i in range(1, 13))
+
+#: Latency bucket upper bounds (microseconds): quarter-power-of-two steps
+#: (adjacent bounds differ by 2**0.25 ~ 19%) from 1us to 2**26us (~67s).
+#: ``2.0 ** (i / 4)`` is a pure function of the index, so the grid is
+#: bit-identical on every platform and any percentile read off it is
+#: within one bucket's relative width of the true sample percentile.
+LATENCY_BUCKETS_US: tuple[float, ...] = tuple(
+    2.0 ** (i / 4) for i in range(0, 105)
+)
 
 
 def _labelset(labels: dict[str, Any]) -> LabelSet:
@@ -111,6 +121,40 @@ class HistogramSnapshot:
     def mean(self) -> float | None:
         return self.sum / self.count if self.count else None
 
+    def percentile(self, q: float) -> float | None:
+        """The *q*-quantile (``0 <= q <= 1``) read off the buckets.
+
+        Uses the exact rank rule — the ``ceil(q * count)``-th smallest
+        observation — and returns the upper bound of the bucket holding
+        that observation, clamped to the observed ``[min, max]`` envelope
+        so the tails are anchored exactly.  With log-spaced bounds (see
+        :data:`LATENCY_BUCKETS_US`) the result is within one bucket's
+        relative width of the true sample percentile; observations above
+        the last bound degrade to ``max``.  ``None`` on an empty
+        histogram.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        index = bisect.bisect_left(self.bucket_counts, rank)
+        if index >= len(self.bucket_bounds):
+            return self.max
+        return min(max(self.bucket_bounds[index], self.min), self.max)
+
+    @property
+    def p50(self) -> float | None:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float | None:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float | None:
+        return self.percentile(0.99)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -118,6 +162,9 @@ class HistogramSnapshot:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
             "buckets": {
                 str(bound): count
                 for bound, count in zip(self.bucket_bounds, self.bucket_counts)
@@ -162,6 +209,43 @@ class Histogram:
         if index < len(self._bucket_counts):
             self._bucket_counts[index] += 1
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s observations into this histogram.
+
+        Equivalent to having observed the concatenation of both streams;
+        requires identical bucket bounds.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name} into {self.name}: "
+                f"bucket bounds differ"
+            )
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            if self.min is None or other.min < self.min:
+                self.min = other.min
+        if other.max is not None:
+            if self.max is None or other.max > self.max:
+                self.max = other.max
+        for index, n in enumerate(other._bucket_counts):
+            self._bucket_counts[index] += n
+
+    def reset(self) -> HistogramSnapshot:
+        """Freeze the current distribution, then forget it.
+
+        Returns the frozen view, so interval readers can drain the
+        histogram without losing observations: the counts in successive
+        ``reset()`` snapshots always sum to everything ever observed.
+        """
+        snapshot = self.freeze()
+        self._bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+        return snapshot
+
     def freeze(self) -> HistogramSnapshot:
         """A cumulative-bucket snapshot of the distribution."""
         cumulative = []
@@ -177,6 +261,26 @@ class Histogram:
             bucket_bounds=self.bounds,
             bucket_counts=tuple(cumulative),
         )
+
+
+class LatencyHistogram(Histogram):
+    """A histogram specialised for request latencies.
+
+    The default grid is :data:`LATENCY_BUCKETS_US` — log-spaced,
+    deterministic, microsecond-denominated — so p50/p95/p99 extracted
+    from a snapshot (:meth:`HistogramSnapshot.percentile`) carry a
+    bounded ~19% relative error while ``min``/``max`` stay exact.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        buckets: Iterable[float] = LATENCY_BUCKETS_US,
+    ) -> None:
+        super().__init__(name, labels, buckets=buckets)
 
 
 class MetricsSnapshot:
@@ -276,6 +380,9 @@ class NullHistogram(Histogram):
     def observe(self, value: float) -> None:
         pass
 
+    def merge(self, other: Histogram) -> None:
+        pass
+
 
 class MetricsRegistry:
     """Get-or-create instruments, pull collectors, take snapshots.
@@ -331,6 +438,21 @@ class MetricsRegistry:
             instrument = self._histograms[key] = Histogram(
                 *key, buckets=buckets or DEFAULT_BUCKETS
             )
+        return instrument
+
+    def latency_histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get-or-create a :class:`LatencyHistogram` (log-spaced buckets).
+
+        Lives in the same namespace as :meth:`histogram`; as with custom
+        buckets, the grid is fixed by whichever call creates the
+        instrument first.
+        """
+        if not self.enabled:
+            return self._null_histogram
+        key = (name, _labelset(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = LatencyHistogram(*key)
         return instrument
 
     # -- collectors -----------------------------------------------------

@@ -30,6 +30,25 @@ _NETWORK_SCALARS = (
     "payload_bytes_sent",
 )
 
+#: histogram the closed-loop client pool publishes request latencies into
+_REQUEST_LATENCY = "workload.request_latency_us"
+
+
+def _latency_summary(snapshot: MetricsSnapshot) -> dict[str, Any] | None:
+    """p50/p95/p99/max request-latency digest, or None when no
+    closed-loop workload ran."""
+    histogram = snapshot.histogram(_REQUEST_LATENCY)
+    if histogram is None or not histogram.count:
+        return None
+    return {
+        "count": histogram.count,
+        "mean_us": histogram.mean,
+        "p50_us": histogram.p50,
+        "p95_us": histogram.p95,
+        "p99_us": histogram.p99,
+        "max_us": histogram.max,
+    }
+
 
 @dataclass
 class SystemReport:
@@ -54,6 +73,8 @@ class SystemReport:
     network: dict[str, int] = field(default_factory=dict)
     sends_by_category: dict[str, int] = field(default_factory=dict)
     per_machine_load: dict[int, int] = field(default_factory=dict)
+    #: end-to-end request latency digest (None without a closed-loop run)
+    request_latency: dict[str, Any] | None = None
 
     def lines(self) -> list[str]:
         """Human-readable rendering, one fact per line."""
@@ -74,6 +95,15 @@ class SystemReport:
             f"link updates applied: {self.link_updates_applied} "
             f"({self.links_retargeted} links retargeted)",
         ]
+        if self.request_latency is not None:
+            digest = self.request_latency
+            out.append(
+                f"request latency: p50 {digest['p50_us']:.0f}us, "
+                f"p95 {digest['p95_us']:.0f}us, "
+                f"p99 {digest['p99_us']:.0f}us, "
+                f"max {digest['max_us']:.0f}us "
+                f"({digest['count']} requests)"
+            )
         return out
 
     def to_dict(self) -> dict[str, Any]:
@@ -101,6 +131,11 @@ class SystemReport:
                 str(machine): load
                 for machine, load in self.per_machine_load.items()
             },
+            "request_latency": (
+                dict(self.request_latency)
+                if self.request_latency is not None
+                else None
+            ),
         }
 
 
@@ -147,6 +182,7 @@ def report_from_snapshot(
                 "kernel.run_queue", "machine"
             ).items()
         },
+        request_latency=_latency_summary(snapshot),
     )
 
 

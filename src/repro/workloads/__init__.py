@@ -1,5 +1,10 @@
 """Synthetic workloads for examples, tests, and benchmarks."""
 
+from repro.workloads.closed_loop import (
+    REQUEST_LATENCY_METRIC,
+    ClientPool,
+    ClosedLoopConfig,
+)
 from repro.workloads.compute import compute_bound, migratory_compute
 from repro.workloads.file_clients import file_io_client, file_reader
 from repro.workloads.generators import (
@@ -14,7 +19,10 @@ from repro.workloads.results import DEFAULT_BOARD, ResultsBoard
 __all__ = [
     "Arrival",
     "ArrivalGenerator",
+    "ClientPool",
+    "ClosedLoopConfig",
     "DEFAULT_BOARD",
+    "REQUEST_LATENCY_METRIC",
     "ResultsBoard",
     "burst_plan",
     "compute_bound",

@@ -1,0 +1,185 @@
+"""Closed-loop request/reply clients: the *user's* view of migration.
+
+The open-loop generators in :mod:`repro.workloads.generators` keep
+offering work no matter how slowly the system answers, so migration and
+forwarding costs only ever surface as counter totals.  A closed-loop
+pool models N simulated users instead: each sends one request over a
+link, waits for the reply, thinks for a sampled delay, and only then
+sends the next.  A server that migrates mid-conversation — or answers
+through a forwarding chain — therefore stretches the *observed response
+time* of exactly the requests it delayed, and the paper's §6 per-event
+cost analysis becomes a request-latency distribution, the metric
+interactive services are actually judged on (means hide the damage;
+percentiles don't).
+
+Latencies land in a :class:`~repro.obs.metrics.LatencyHistogram` in the
+system's metrics registry, so ``report --json``, the metrics exporters
+and the benchmark artifacts all see p50/p95/p99 without extra plumbing.
+
+Determinism: think times are pre-drawn from one named random stream at
+install time, in client-index order, so the same seed and config yield
+the same per-request think times regardless of how the event loop
+interleaves the clients at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Sequence
+
+from repro.kernel.context import ProcessContext
+from repro.kernel.ids import ProcessId
+from repro.servers.common import lookup_service, rpc
+from repro.workloads.results import ResultsBoard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import System
+
+#: registry name for the pool's end-to-end request latency histogram
+REQUEST_LATENCY_METRIC = "workload.request_latency_us"
+
+
+@dataclass(frozen=True)
+class ClosedLoopConfig:
+    """Shape of one closed-loop client pool."""
+
+    clients: int = 4
+    requests_per_client: int = 10
+    #: mean think time between a reply and the next request (exponential;
+    #: 0 disables thinking entirely)
+    mean_think_us: int = 2_000
+    payload_bytes: int = 32
+    #: simulated time of the first client spawn
+    start_at: int = 1_000
+    #: spawn spacing between successive clients (staggers the switchboard
+    #: lookups, like real users arriving over time)
+    stagger_us: int = 500
+    #: named random stream the think times are drawn from
+    stream: str = "closed-loop"
+    metric: str = REQUEST_LATENCY_METRIC
+
+    def validate(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"need at least one client, got {self.clients}")
+        if self.requests_per_client < 1:
+            raise ValueError("requests_per_client must be positive")
+        if self.mean_think_us < 0 or self.start_at < 0 or self.stagger_us < 0:
+            raise ValueError("times must be non-negative")
+
+
+class ClientPool:
+    """N simulated users driving request/reply services in closed loop.
+
+    Each client resolves one service name through the switchboard (the
+    names cycle over *services*, so a pool can spread load across many
+    servers), then alternates request -> reply -> think until it has
+    completed its quota.  Per-request latencies are observed into the
+    registry's latency histogram; per-client completions are kept in
+    :attr:`request_counts` so tests can pin the exact request-count
+    vector.
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        config: ClosedLoopConfig | None = None,
+        *,
+        services: Sequence[str] = ("echo",),
+        machines: Sequence[int] | None = None,
+        board: ResultsBoard | None = None,
+        key: str = "closed-loop",
+    ) -> None:
+        if not services:
+            raise ValueError("need at least one service name")
+        self.system = system
+        self.config = config or ClosedLoopConfig()
+        self.config.validate()
+        self.services = tuple(services)
+        self.machines = tuple(
+            machines if machines is not None else system.topology.machines
+        )
+        self.board = board if board is not None else ResultsBoard()
+        self.key = key
+        #: requests completed so far, indexed by client
+        self.request_counts: list[int] = [0] * self.config.clients
+        self.spawned: list[ProcessId] = []
+        self._latency = system.metrics.latency_histogram(self.config.metric)
+        self._completed = system.metrics.counter("workload.requests_completed")
+        self._forwarded = system.metrics.counter("workload.replies_forwarded")
+        self._think_times: list[list[int]] = []
+
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Pre-draw every think time, then schedule the client spawns."""
+        cfg = self.config
+        rng = self.system.rngs.stream(cfg.stream)
+        mean = cfg.mean_think_us
+        self._think_times = [
+            [
+                int(rng.expovariate(1.0 / mean)) if mean else 0
+                for _ in range(cfg.requests_per_client)
+            ]
+            for _ in range(cfg.clients)
+        ]
+        for index in range(cfg.clients):
+            machine = self.machines[index % len(self.machines)]
+            service = self.services[index % len(self.services)]
+            at = cfg.start_at + index * cfg.stagger_us
+            self.system.loop.call_at(
+                at,
+                lambda _i=index, _m=machine, _s=service: self.spawned.append(
+                    self.system.spawn(
+                        lambda ctx: self._client(ctx, _i, _s),
+                        machine=_m,
+                        name=f"{self.key}-{_i}",
+                    )
+                ),
+            )
+
+    @property
+    def done(self) -> bool:
+        """Whether every client has completed its request quota."""
+        quota = self.config.requests_per_client
+        return all(count == quota for count in self.request_counts)
+
+    # ------------------------------------------------------------------
+
+    def _client(
+        self, ctx: ProcessContext, index: int, service_name: str
+    ) -> Generator[Any, Any, None]:
+        cfg = self.config
+        service = yield from lookup_service(ctx, service_name)
+        thinks = self._think_times[index]
+        server_machines: list[int] = []
+        for round_no in range(cfg.requests_per_client):
+            sent_at = ctx.now
+            reply = yield from rpc(
+                ctx,
+                service,
+                "echo",
+                {"round": round_no, "client": index},
+                payload_bytes=cfg.payload_bytes,
+            )
+            assert reply is not None
+            self._latency.observe(ctx.now - sent_at)
+            self._completed.inc()
+            if reply.payload.get("forwarded"):
+                self._forwarded.inc()
+            self.request_counts[index] += 1
+            machine = reply.payload.get("machine")
+            if not server_machines or machine != server_machines[-1]:
+                server_machines.append(machine)
+            think = thinks[round_no]
+            if think:
+                yield ctx.sleep(think)
+        self.board.post(
+            self.key,
+            {
+                "client": index,
+                "service": service_name,
+                "requests": self.request_counts[index],
+                "server_machines": server_machines,
+            },
+        )
+        yield ctx.exit()

@@ -32,8 +32,19 @@ class TestCli:
     def test_report_prints_headlines(self, capsys):
         assert main(["report"]) == 0
         out = capsys.readouterr().out
-        assert "migrations: 1 completed" in out
+        assert "migrations: 2 completed" in out
         assert "machines" in out
+
+    def test_report_prints_latency_percentiles(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "request latency: p50" in out
+        assert "(40 requests)" in out
+
+    def test_report_pool_size_is_configurable(self, capsys):
+        assert main(["report", "--clients", "2", "--requests", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "(6 requests)" in out
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -54,9 +65,20 @@ class TestReportJson:
         main(["report", "--json"])
         document = json.loads(capsys.readouterr().out)
         report = document["report"]
-        assert report["migrations_completed"] == 1
-        assert report["admin_messages"] == 9
+        assert report["migrations_completed"] == 2
+        assert report["admin_messages"] == 18
         assert report["machines"] == 4
+
+    def test_report_json_carries_latency_percentiles(self, capsys):
+        main(["report", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        digest = document["report"]["request_latency"]
+        assert digest["count"] == 40
+        assert 0 < digest["p50_us"] <= digest["p95_us"] <= digest["p99_us"]
+        assert digest["p99_us"] <= digest["max_us"]
+        histogram = document["histograms"]["workload.request_latency_us"]
+        assert histogram["count"] == 40
+        assert histogram["p50"] == digest["p50_us"]
 
     def test_counters_are_labeled_series(self, capsys):
         main(["report", "--json"])
@@ -71,7 +93,7 @@ class TestReportJson:
         main(["report", "--json"])
         document = json.loads(capsys.readouterr().out)
         downtime = document["histograms"]["migration.downtime_us"]
-        assert downtime["count"] == 1
+        assert downtime["count"] == 2
         assert downtime["min"] > 0
 
 
@@ -82,6 +104,14 @@ class TestTraceCommand:
         document = json.loads(out.read_text())
         assert document["otherData"]["schema"] == TRACE_SCHEMA
         assert document["displayTimeUnit"] == "ms"
+
+    def test_trace_embeds_metrics_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        main(["trace", "--out", str(out)])
+        document = json.loads(out.read_text())
+        metrics = document["otherData"]["metrics"]
+        assert metrics["counters"]["migration.completed{machine=0}"] == 1
+        assert "histograms" in metrics
 
     def test_trace_contains_all_eight_steps_in_order(self, tmp_path,
                                                      capsys):

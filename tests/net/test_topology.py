@@ -93,3 +93,53 @@ class TestRouting:
         assert topo.next_hop(0, 2) == 1
         topo.connect(0, 2, latency=1)
         assert topo.next_hop(0, 2) == 2
+
+
+class TestRouteCacheLru:
+    def test_cache_bounded_at_limit(self):
+        topo = Topology.line(5)
+        topo._route_cache_limit = 2
+        for src in range(4):
+            topo.next_hop(src, 4)
+        assert len(topo._routes) == 2
+        assert list(topo._routes) == [2, 3]
+
+    def test_recent_hit_survives_eviction(self):
+        topo = Topology.line(4)
+        topo._route_cache_limit = 2
+        topo.next_hop(0, 3)
+        topo.next_hop(1, 3)
+        # Touch 0 again so 1 is now the least recently used source.
+        topo.next_hop(0, 2)
+        topo.next_hop(2, 3)
+        assert list(topo._routes) == [0, 2]
+
+    def test_evicted_source_recomputed_correctly(self):
+        topo = Topology.line(4)
+        topo._route_cache_limit = 1
+        assert topo.next_hop(0, 3) == 1
+        assert topo.next_hop(3, 0) == 2  # evicts source 0
+        assert 0 not in topo._routes
+        # Source 0 routes identically after recomputation.
+        assert topo.next_hop(0, 3) == 1
+        assert topo.path(0, 3) == [0, 1, 2, 3]
+
+    def test_wire_change_still_invalidates_all(self):
+        topo = Topology.line(3)
+        topo._route_cache_limit = 2
+        topo.next_hop(0, 2)
+        topo.next_hop(1, 2)
+        topo.connect(0, 2, latency=1)
+        assert not topo._routes
+        assert topo.next_hop(0, 2) == 2
+
+    def test_default_limit_is_512(self):
+        from repro.net.topology import DEFAULT_ROUTE_CACHE_LIMIT
+
+        assert DEFAULT_ROUTE_CACHE_LIMIT == 512
+        assert Topology()._route_cache_limit == 512
+
+    def test_constructor_limit_validated(self):
+        with pytest.raises(ValueError):
+            Topology(route_cache_limit=0)
+        assert Topology(route_cache_limit=3)._route_cache_limit == 3

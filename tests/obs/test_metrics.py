@@ -4,7 +4,9 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_US,
     Histogram,
+    LatencyHistogram,
     MetricsRegistry,
     render_key,
 )
@@ -115,6 +117,37 @@ class TestHistogram:
         again = registry.histogram("h")
         assert again is first
         assert again.bounds == (1, 2)
+
+
+class TestLatencyHistogram:
+    def test_registry_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.latency_histogram("workload.request_latency_us")
+        again = registry.latency_histogram("workload.request_latency_us")
+        assert again is first
+        assert isinstance(first, LatencyHistogram)
+        assert first.bounds == LATENCY_BUCKETS_US
+
+    def test_shares_namespace_with_plain_histograms(self):
+        registry = MetricsRegistry()
+        plain = registry.histogram("h", buckets=(1, 2))
+        assert registry.latency_histogram("h") is plain
+
+    def test_disabled_registry_hands_out_null(self):
+        registry = MetricsRegistry(enabled=False)
+        instrument = registry.latency_histogram("h")
+        instrument.observe(5)
+        instrument.merge(LatencyHistogram("other", ()))
+        assert registry.snapshot().histogram("h") is None
+
+    def test_percentiles_surface_in_to_dict(self):
+        registry = MetricsRegistry()
+        registry.latency_histogram("h").observe(100)
+        document = registry.snapshot().to_dict()
+        rendered = document["histograms"]["h"]
+        assert rendered["count"] == 1
+        assert rendered["p50"] == rendered["p95"] == rendered["p99"]
+        assert 100 <= rendered["p50"] <= 100 * 2**0.25
 
 
 class TestSnapshot:

@@ -1,7 +1,7 @@
 """Tests for the system-wide report collector."""
 
 from repro.stats.collector import collect_report
-from tests.conftest import drain, make_bare_system
+from tests.conftest import drain, make_bare_system, make_system
 
 
 def parked(ctx):
@@ -58,3 +58,35 @@ class TestCollector:
         system = make_bare_system(machines=2)
         report = collect_report(system)
         assert set(report.per_machine_load) == {0, 1}
+
+
+class TestRequestLatencySection:
+    def test_absent_without_closed_loop_workload(self):
+        system = make_bare_system()
+        report = collect_report(system)
+        assert report.request_latency is None
+        assert report.to_dict()["request_latency"] is None
+        assert not any("request latency" in line for line in report.lines())
+
+    def test_digest_after_closed_loop_run(self):
+        from repro.workloads.closed_loop import ClientPool, ClosedLoopConfig
+        from repro.workloads.pingpong import echo_server
+
+        system = make_system()
+        system.spawn(lambda ctx: echo_server(ctx), machine=1, name="echo")
+        pool = ClientPool(
+            system, ClosedLoopConfig(clients=2, requests_per_client=3)
+        )
+        pool.install()
+        drain(system)
+        assert pool.done
+        report = collect_report(system)
+        digest = report.request_latency
+        assert digest is not None
+        assert digest["count"] == 6
+        assert 0 < digest["p50_us"] <= digest["p95_us"] <= digest["p99_us"]
+        assert digest["p99_us"] <= digest["max_us"]
+        rendered = "\n".join(report.lines())
+        assert "request latency: p50" in rendered
+        assert "(6 requests)" in rendered
+        assert report.to_dict()["request_latency"]["count"] == 6
