@@ -90,8 +90,13 @@ def write_bench_artifact(
         "name": name,
         "metrics": metrics,
     }
-    if meta:
-        payload["meta"] = meta
+    meta = dict(meta) if meta else {}
+    # The regression gate cross-checks run identity (machines, seed)
+    # between result and baseline before diffing metrics; every
+    # benchmark here runs on the SystemConfig default seed unless its
+    # meta says otherwise.
+    meta.setdefault("seed", 0)
+    payload["meta"] = meta
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -94,6 +94,27 @@ SPARSE = ClusterParams(
     topology="torus",
 )
 
+#: 1,024 machines on a 32x32 torus — the ROADMAP scale-out step the
+#: adaptive route cache unblocked (a hard 512-source LRU thrashed here:
+#: forwarding makes all 1,024 machines routing sources, and every
+#: evicted source cost a full Dijkstra per hop).  Workload per server
+#: is minimal; the point is protocol traffic across a diameter-32
+#: network.  The sharded engine runs the same machine count in
+#: `test_e11_shards.py` (`e11_shards_xsparse`), where shards=1 and
+#: shards=4 must agree byte-for-byte.
+XSPARSE = ClusterParams(
+    name="e11_cluster_xsparse",
+    machines=1024,
+    pingers_per_server=1,
+    ping_rounds=8,
+    compute_rate_per_ms=0.5,
+    compute_window=400_000,
+    compute_work=40_000,
+    server_moves=32,
+    duration=1_500_000,
+    topology="torus",
+)
+
 #: reduced sparse scenario for CI: same torus shape, 16 machines (4x4)
 SPARSE_SMOKE = ClusterParams(
     name="e11_sparse_smoke",
@@ -280,6 +301,12 @@ def test_e11_cluster_sparse(bench_once):
     result = bench_once(run_cluster, SPARSE)
     _report(SPARSE, result)
     _check(SPARSE, result)
+
+
+def test_e11_cluster_xsparse(bench_once):
+    result = bench_once(run_cluster, XSPARSE)
+    _report(XSPARSE, result)
+    _check(XSPARSE, result)
 
 
 def test_e11_sparse_smoke(bench_once):

@@ -63,6 +63,47 @@ def load_artifact(path: Path) -> dict:
     return document
 
 
+#: meta keys that parameterise a run — a mismatch means the result came
+#: from a *different experiment* than the one the baseline gates, and
+#: any metric diff would be comparing apples to oranges
+IDENTITY_META_KEYS = ("machines", "seed")
+
+
+def compare_meta(
+    name: str,
+    current: dict,
+    baseline: dict,
+) -> list[str]:
+    """Check the run-identity meta keys match before any metric diff.
+
+    A mis-parameterised rerun (wrong machine count, wrong seed) must
+    fail loudly as such, not surface as a pile of baffling metric
+    drifts.  Keys absent from the baseline are noted but not failed, so
+    pre-meta baselines keep working until they are regenerated.
+    """
+    problems = []
+    for key in IDENTITY_META_KEYS:
+        if key not in baseline:
+            print(
+                f"note: {name}: baseline meta lacks {key!r} "
+                f"(regenerate the baseline to gate run identity)"
+            )
+            continue
+        if key not in current:
+            problems.append(
+                f"{name}: result meta lacks {key!r} "
+                f"(baseline pins {baseline[key]!r})"
+            )
+            continue
+        if current[key] != baseline[key]:
+            problems.append(
+                f"{name}: meta.{key} mismatch — baseline ran with "
+                f"{baseline[key]!r}, this result with {current[key]!r}; "
+                f"refusing to diff metrics of different experiments"
+            )
+    return problems
+
+
 def compare_metrics(
     name: str,
     current: dict[str, float],
@@ -156,6 +197,14 @@ def main(argv: list[str] | None = None) -> int:
             current = load_artifact(result_path)
         except (ValueError, json.JSONDecodeError) as exc:
             problems.append(str(exc))
+            continue
+        meta_problems = compare_meta(
+            baseline["name"],
+            current.get("meta", {}),
+            baseline.get("meta", {}),
+        )
+        if meta_problems:
+            problems.extend(meta_problems)
             continue
         problems.extend(compare_metrics(
             baseline["name"], current["metrics"], baseline["metrics"],

@@ -90,6 +90,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.workloads.compute import compute_bound
     from repro.workloads.pingpong import echo_server
 
+    if args.shards > 1:
+        return _report_sharded(args)
     system = System(SystemConfig(machines=args.machines))
     server = system.spawn(lambda ctx: echo_server(ctx), machine=1,
                           name="echo")
@@ -120,6 +122,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
+    for line in report.lines():
+        print(line)
+    return 0
+
+
+def _report_sharded(args: argparse.Namespace) -> int:
+    """The ``report`` scenario on the sharded engine (``--shards N``).
+
+    Machines pair up as echo servers and pingers on a torus; the
+    cluster executes in conservative windows across N shards and the
+    printed report is the merged per-shard snapshot — identical numbers
+    for every shard count.
+    """
+    from repro.sim.shard import ShardedSystem
+    from repro.stats.collector import collect_sharded_report
+    from repro.workloads.pingpong import echo_server, pinger
+    from repro.workloads.results import ResultsBoard
+
+    system = ShardedSystem(SystemConfig(
+        machines=args.machines, topology="torus", shards=args.shards,
+    ))
+    boards = [ResultsBoard() for _ in system.shards]
+    count = args.machines
+    for m in system.topology.machines:
+        system.spawn(
+            lambda ctx, _m=m: echo_server(ctx, service_name=f"echo-{_m}"),
+            machine=m, name=f"echo-{m}",
+        )
+        client = (m + 3) % count
+        board = boards[system.plan.shard_of(client)]
+        system.schedule_spawn(
+            30_000 + 500 * m, client,
+            lambda ctx, _m=m, _b=board: pinger(
+                ctx, service_name=f"echo-{_m}", rounds=args.requests,
+                board=_b, key=f"pinger-{_m}",
+            ),
+            name=f"pinger-{m}",
+        )
+    system.run(until=2_000_000)
+    system.drain()
+    report = collect_sharded_report(system)
+    if args.json:
+        document = metrics_snapshot_dict(
+            system.snapshot(),
+            now=system.now(),
+            extra={"report": report.to_dict(),
+                   "shards": len(system.shards)},
+        )
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"sharded execution: {len(system.shards)} shards, "
+          f"lookahead {system.plan.lookahead}us")
     for line in report.lines():
         print(line)
     return 0
@@ -209,6 +263,11 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable metrics snapshot instead of text",
+    )
+    report.add_argument(
+        "--shards", type=int, default=1,
+        help="run the cluster across N parallel execution shards "
+             "(>1 selects the sharded engine on a torus; default: 1)",
     )
     report.set_defaults(func=_cmd_report)
 

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.kernel.kernel import UndeliverablePolicy
+from repro.kernel.kernel import KernelConfig, UndeliverablePolicy
 from repro.net.channel import FaultPlan
+from repro.net.topology import Topology
 
 #: Topology shapes :func:`repro.core.system.System` knows how to build.
 TOPOLOGY_SHAPES = (
@@ -31,6 +32,10 @@ class SystemConfig:
     bandwidth: int = 1_000  #: per-wire bandwidth, bytes per millisecond
     faults: FaultPlan = field(default_factory=FaultPlan)
     rto: int = 5_000  #: transport retransmission timeout, microseconds
+    #: number of parallel execution shards the machine set is split into
+    #: (1 = the classic single event loop; >1 selects the sharded engine,
+    #: :class:`repro.sim.shard.ShardedSystem`)
+    shards: int = 1
 
     # --- kernels --------------------------------------------------------
     quantum: int = 1_000
@@ -79,6 +84,19 @@ class SystemConfig:
             )
         if self.latency < 0 or self.bandwidth <= 0:
             raise ConfigError("latency must be >= 0 and bandwidth > 0")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > self.machines:
+            raise ConfigError(
+                f"cannot split {self.machines} machines into "
+                f"{self.shards} shards"
+            )
+        if self.shards > 1 and self.latency < 1:
+            raise ConfigError(
+                "sharded execution needs latency >= 1: the minimum wire "
+                "latency is the conservative lookahead, and a zero "
+                "lookahead admits no parallel window"
+            )
         if self.quantum <= 0 or self.syscall_cpu_cost <= 0:
             raise ConfigError("quantum and syscall cost must be positive")
         if self.max_data_packet <= 0:
@@ -96,3 +114,61 @@ class SystemConfig:
                 "False (the whole point of the ablation is no residual "
                 "forwarding state)"
             )
+
+    def build_topology(self) -> Topology:
+        """Construct the machine topology this config describes.
+
+        Shared by :class:`~repro.core.system.System` and the sharded
+        engine, so both simulate exactly the same network.
+        """
+        shape = self.topology
+        n = self.machines
+        latency = self.latency
+        bandwidth = self.bandwidth
+        if shape == "torus":
+            rows = near_square_factor(n)
+            return Topology.torus2d(rows, n // rows, latency, bandwidth)
+        if shape == "hypercube":
+            # validate() guarantees n is a power of two
+            return Topology.hypercube(n.bit_length() - 1, latency, bandwidth)
+        if shape == "cliques":
+            size = near_square_factor(n)
+            return Topology.ring_of_cliques(
+                n // size, size, latency, bandwidth
+            )
+        builder = {
+            "mesh": Topology.full_mesh,
+            "line": Topology.line,
+            "ring": Topology.ring,
+            "star": Topology.star,
+        }[shape]
+        return builder(n, latency, bandwidth)
+
+    def kernel_config(self) -> KernelConfig:
+        """The per-kernel slice of this system config."""
+        return KernelConfig(
+            quantum=self.quantum,
+            syscall_cpu_cost=self.syscall_cpu_cost,
+            memory_capacity=self.memory_capacity,
+            max_data_packet=self.max_data_packet,
+            undeliverable_policy=self.undeliverable_policy,
+            leave_forwarding_address=self.leave_forwarding_address,
+            send_link_updates=self.send_link_updates,
+            notify_process_manager=self.notify_process_manager,
+        )
+
+
+def near_square_factor(n: int) -> int:
+    """The largest divisor of *n* that is <= sqrt(n).
+
+    Shapes a machine count into the most-square grid (torus) or pod
+    layout (cliques) it divides into; for a prime count this degenerates
+    to 1 x n, which is still a valid (ring-like) arrangement.
+    """
+    factor = 1
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factor = d
+        d += 1
+    return factor

@@ -26,11 +26,11 @@ from repro.core.registry import registered_programs
 from repro.errors import ConfigError, UnknownProcessError
 from repro.kernel.context import ProcessContext
 from repro.kernel.ids import ProcessAddress, ProcessId, kernel_address
-from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.kernel import Kernel
 from repro.kernel.memory import MemoryImage
 from repro.kernel.process_state import ProcessState
 from repro.net.network import Network
-from repro.net.topology import MachineId, Topology
+from repro.net.topology import MachineId
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanCollector
 from repro.sim.loop import EventLoop
@@ -41,20 +41,58 @@ from repro.stats.migration_cost import MigrationCostRecord
 Program = Callable[[ProcessContext], Any]
 
 
-def _near_square_factor(n: int) -> int:
-    """The largest divisor of *n* that is <= sqrt(n).
+def boot_standard_servers(system: Any) -> None:
+    """Spawn the Figure 2-3 system processes in dependency order.
 
-    Shapes a machine count into the most-square grid (torus) or pod
-    layout (cliques) it divides into; for a prime count this degenerates
-    to 1 x n, which is still a valid (ring-like) arrangement.
+    *system* is duck-typed: it needs ``config``, ``topology``,
+    ``kernel()``, ``well_known`` and ``server_pids``.  Shared by
+    :class:`System` and :class:`repro.sim.shard.ShardedSystem`, so both
+    boot bit-identical server populations.
     """
-    factor = 1
-    d = 2
-    while d * d <= n:
-        if n % d == 0:
-            factor = d
-        d += 1
-    return factor
+    from repro.servers.command_interpreter import command_interpreter_program
+    from repro.servers.filesystem import boot_file_system
+    from repro.servers.memory_scheduler import memory_scheduler_program
+    from repro.servers.process_manager import process_manager_program
+    from repro.servers.switchboard import switchboard_program
+
+    control = system.config.control_machine
+    machine_count = system.config.machines
+    boot_server(system, "switchboard", switchboard_program, control)
+    boot_server(
+        system,
+        "memory_scheduler",
+        lambda ctx: memory_scheduler_program(ctx, machines=machine_count),
+        control,
+    )
+    # The process manager holds a link to every kernel ("they control
+    # processes by sending messages to kernels").
+    kernel_links = {
+        f"kernel:{m}": kernel_address(m) for m in system.topology.machines
+    }
+    boot_server(
+        system, "process_manager", process_manager_program, control,
+        extra_links=kernel_links,
+    )
+    boot_file_system(system, system.config.file_system_machine)
+    boot_server(
+        system, "command_interpreter", command_interpreter_program, control,
+    )
+
+
+def boot_server(
+    system: Any,
+    name: str,
+    program: Program,
+    machine: MachineId,
+    extra_links: dict[str, ProcessAddress] | None = None,
+) -> ProcessId:
+    """Spawn one well-known server and publish its address."""
+    pid = system.kernel(machine).spawn(
+        program, name=name, extra_links=extra_links,
+    )
+    system.well_known[name] = ProcessAddress(pid, machine)
+    system.server_pids[name] = pid
+    return pid
 
 
 @dataclass
@@ -92,7 +130,7 @@ class System:
         self.metrics.register_collector(self._publish_sim_metrics)
         #: migration spans assembled live from the tracer stream
         self.spans = SpanCollector(self.tracer)
-        self.topology = self._build_topology()
+        self.topology = self.config.build_topology()
         self.network = Network(
             self.loop,
             self.topology,
@@ -110,7 +148,7 @@ class System:
                 self.loop,
                 self.network,
                 self.tracer,
-                config=self._kernel_config(),
+                config=self.config.kernel_config(),
                 well_known=self.well_known,
                 metrics=self.metrics,
             )
@@ -122,89 +160,10 @@ class System:
         #: pids of the system processes booted at start-up, by service name
         self.server_pids: dict[str, ProcessId] = {}
         if self.config.boot_servers:
-            self._boot_servers()
+            boot_standard_servers(self)
         self._load_reporting = False
         if self.config.load_report_interval > 0:
             self.start_load_reporting()
-
-    def _build_topology(self) -> Topology:
-        shape = self.config.topology
-        n = self.config.machines
-        latency = self.config.latency
-        bandwidth = self.config.bandwidth
-        if shape == "torus":
-            rows = _near_square_factor(n)
-            return Topology.torus2d(rows, n // rows, latency, bandwidth)
-        if shape == "hypercube":
-            # validate() guarantees n is a power of two
-            return Topology.hypercube(n.bit_length() - 1, latency, bandwidth)
-        if shape == "cliques":
-            size = _near_square_factor(n)
-            return Topology.ring_of_cliques(n // size, size, latency, bandwidth)
-        builder = {
-            "mesh": Topology.full_mesh,
-            "line": Topology.line,
-            "ring": Topology.ring,
-            "star": Topology.star,
-        }[shape]
-        return builder(n, latency, bandwidth)
-
-    def _kernel_config(self) -> KernelConfig:
-        cfg = self.config
-        return KernelConfig(
-            quantum=cfg.quantum,
-            syscall_cpu_cost=cfg.syscall_cpu_cost,
-            memory_capacity=cfg.memory_capacity,
-            max_data_packet=cfg.max_data_packet,
-            undeliverable_policy=cfg.undeliverable_policy,
-            leave_forwarding_address=cfg.leave_forwarding_address,
-            send_link_updates=cfg.send_link_updates,
-            notify_process_manager=cfg.notify_process_manager,
-        )
-
-    def _boot_servers(self) -> None:
-        """Spawn the Figure 2-3 system processes in dependency order."""
-        from repro.servers.command_interpreter import command_interpreter_program
-        from repro.servers.filesystem import boot_file_system
-        from repro.servers.memory_scheduler import memory_scheduler_program
-        from repro.servers.process_manager import process_manager_program
-        from repro.servers.switchboard import switchboard_program
-
-        control = self.config.control_machine
-        machine_count = self.config.machines
-        self._boot_server("switchboard", switchboard_program, control)
-        self._boot_server(
-            "memory_scheduler",
-            lambda ctx: memory_scheduler_program(ctx, machines=machine_count),
-            control,
-        )
-        # The process manager holds a link to every kernel ("they control
-        # processes by sending messages to kernels").
-        kernel_links = {
-            f"kernel:{m}": kernel_address(m) for m in self.topology.machines
-        }
-        self._boot_server(
-            "process_manager", process_manager_program, control,
-            extra_links=kernel_links,
-        )
-        boot_file_system(self, self.config.file_system_machine)
-        self._boot_server(
-            "command_interpreter", command_interpreter_program, control,
-        )
-
-    def _boot_server(
-        self,
-        name: str,
-        program: Program,
-        machine: MachineId,
-        extra_links: dict[str, ProcessAddress] | None = None,
-    ) -> ProcessId:
-        pid = self.kernel(machine).spawn(
-            program, name=name, extra_links=extra_links,
-        )
-        self.well_known[name] = ProcessAddress(pid, machine)
-        self.server_pids[name] = pid
-        return pid
 
     # ------------------------------------------------------------------
     # Load reporting (§3.1: "The process manager and memory scheduler

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import UnknownMachineError
+from repro.errors import SimulationError, UnknownMachineError
 from repro.net.channel import Channel, FaultPlan
 from repro.net.packet import Packet
 from repro.net.reliable import DEFAULT_RTO, ReliableTransport
 from repro.net.stats import NetworkStats
 from repro.net.topology import MachineId, Topology
+from repro.sim.barrier import HopRecord
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
@@ -43,6 +44,7 @@ class Network:
         faults: FaultPlan | None = None,
         rto: int = DEFAULT_RTO,
         metrics: "MetricsRegistry | None" = None,
+        machines: list[MachineId] | None = None,
     ) -> None:
         self.loop = loop
         self.topology = topology
@@ -58,7 +60,12 @@ class Network:
         #: carried to (and accepted by) its executor, modelling the
         #: published-communications recovery the paper defers to (§4)
         self._redirects: dict[MachineId, MachineId] = {}
-        for machine in topology.machines:
+        # A sharded system builds one facade per shard, with transports
+        # only for the machines that shard owns (packets to everyone
+        # else leave as hop records, see ShardNetwork below).
+        for machine in (
+            topology.machines if machines is None else machines
+        ):
             self._transports[machine] = ReliableTransport(
                 machine,
                 loop,
@@ -242,3 +249,175 @@ class Network:
                 dst=packet.dst,
                 seq=packet.seq,
             )
+
+
+class ShardNetwork(Network):
+    """The network facade for one shard of a sharded system.
+
+    Same kernel-facing API as :class:`Network`, but it owns transports
+    only for the shard's machines, and **no** hop is scheduled directly
+    on an event loop: every wire transmit — even one whose next hop is
+    in the same shard — becomes a :class:`~repro.sim.barrier.HopRecord`
+    in a per-destination-shard outbox.  Records are handed over at the
+    next conservative barrier, sorted canonically, and injected with
+    :meth:`receive_record`, so the ``(time, seq)`` order of deliveries
+    on any one machine is identical for every shard count (see
+    :mod:`repro.sim.barrier`).
+
+    Per-wire state — the serialisation horizon (``busy_until``), the
+    monotone hop counter, and the fault-injection stream — lives with
+    the wire's *source* shard, so it is touched by exactly one worker
+    and its evolution is shard-layout independent.
+
+    Not supported under sharding: fail-stop takeover (redirects need a
+    global view of routing) and retroactive ``set_faults`` (the default
+    plan from the config applies to every wire from the start).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        topology: Topology,
+        shard_index: int,
+        shard_of: Callable[[MachineId], int],
+        machines: list[MachineId],
+        tracer: Tracer | None = None,
+        rngs: RandomStreams | None = None,
+        faults: FaultPlan | None = None,
+        rto: int = DEFAULT_RTO,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        super().__init__(
+            loop,
+            topology,
+            tracer=tracer,
+            rngs=rngs,
+            faults=faults,
+            rto=rto,
+            metrics=metrics,
+            machines=machines,
+        )
+        self.shard_index = shard_index
+        self.shard_of = shard_of
+        self.machines = list(machines)
+        self._outboxes: dict[int, list[HopRecord]] = {}
+        self._wire_busy: dict[tuple[MachineId, MachineId], int] = {}
+        self._wire_seq: dict[tuple[MachineId, MachineId], int] = {}
+        self._wire_rngs: dict[tuple[MachineId, MachineId], Any] = {}
+        self._inbound_pending = 0
+
+    # -- barrier handoff ------------------------------------------------
+
+    def take_outboxes(self) -> dict[int, list[HopRecord]]:
+        """Pending hop records keyed by destination shard (clears them)."""
+        outboxes = self._outboxes
+        self._outboxes = {}
+        return outboxes
+
+    def receive_record(self, record: HopRecord) -> None:
+        """Schedule one barrier-delivered hop at its exact arrival tick.
+
+        Called in canonical record order; ``call_at`` hands out sequence
+        numbers in call order, so the injection order *is* the delivery
+        tie-break order.
+        """
+        self._inbound_pending += 1
+        self.loop.call_at(
+            record.arrival, self._record_arrived, record.dst, record.packet
+        )
+
+    def _record_arrived(self, here: MachineId, packet: Packet) -> None:
+        self._inbound_pending -= 1
+        if here == packet.dst:
+            self._transport(here).on_packet(packet)
+        else:
+            self._forward_from(here, packet)
+
+    # -- hop transmission ----------------------------------------------
+
+    def _forward_from(self, here: MachineId, packet: Packet) -> None:
+        if here == packet.dst:
+            self._transport(here).on_packet(packet)
+            return
+        next_hop = self.topology.next_hop(here, packet.dst)
+        self._transmit_hop(here, next_hop, packet)
+
+    def _transmit_hop(
+        self, here: MachineId, next_hop: MachineId, packet: Packet
+    ) -> None:
+        """Mirror of :meth:`Channel.transmit`, emitting hop records.
+
+        Same fault draws from the same named stream, same wire
+        serialisation rule (a wire is serial: a packet cannot start
+        serialising before the previous one finished), but the arrival
+        is a record in the outbox instead of a scheduled event.
+        """
+        wire_key = (here, next_hop)
+        plan = self._default_faults
+        rng = None
+        if not plan.is_perfect:
+            rng = self._wire_rngs.get(wire_key)
+            if rng is None:
+                rng = self._rngs.stream(f"channel/{here}->{next_hop}")
+                self._wire_rngs[wire_key] = rng
+            if (
+                plan.drop_probability
+                and rng.random() < plan.drop_probability
+            ):
+                self._note_drop(packet)
+                return
+        copies = 1
+        if (
+            plan.duplicate_probability
+            and rng.random() < plan.duplicate_probability
+        ):
+            copies = 2
+            self._note_duplicate(packet)
+        wire = self.topology.wire(here, next_hop)
+        now = self.loop.now
+        serialization = packet.size_bytes * 1_000 // max(wire.bandwidth, 1)
+        busy = self._wire_busy.get(wire_key, 0)
+        seq = self._wire_seq.get(wire_key, 0)
+        outbox = self._outboxes.setdefault(self.shard_of(next_hop), [])
+        for _ in range(copies):
+            departs = max(now, busy) + serialization
+            busy = departs
+            delay = departs - now + wire.latency
+            if plan.max_jitter:
+                delay += rng.randint(0, plan.max_jitter)
+            seq += 1
+            outbox.append(
+                HopRecord(now + delay, here, next_hop, seq, packet)
+            )
+        self._wire_busy[wire_key] = busy
+        self._wire_seq[wire_key] = seq
+
+    # -- diagnostics -----------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Hops waiting in outboxes plus injected-but-not-arrived ones."""
+        queued = sum(len(box) for box in self._outboxes.values())
+        return queued + self._inbound_pending
+
+    # -- unsupported under sharding --------------------------------------
+
+    def set_faults(
+        self,
+        faults: FaultPlan,
+        a: MachineId | None = None,
+        b: MachineId | None = None,
+    ) -> None:
+        raise SimulationError(
+            "set_faults is not supported on a sharded network; configure "
+            "SystemConfig.faults before building the system"
+        )
+
+    def redirect_machine(self, dead: MachineId, executor: MachineId) -> None:
+        raise SimulationError(
+            "fail-stop takeover is not supported under sharded execution"
+        )
+
+    def crash_machine(self, dead: MachineId, executor: MachineId) -> None:
+        raise SimulationError(
+            "fail-stop takeover is not supported under sharded execution"
+        )

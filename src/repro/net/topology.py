@@ -6,10 +6,15 @@ latency and a bandwidth.  Routing uses latency-weighted shortest paths
 a wire changes: eager all-pairs precomputation was fine for DEMOS/MP-sized
 networks (2..64 machines) but is O(V * E log V) up front, which dominates
 start-up once clusters reach hundreds of machines where each kernel only
-ever routes from its own seat.  The per-source cache is bounded (LRU,
-default 512 sources), so route memory stays O(limit * V) instead of
-O(V^2) even on topologies big enough that every machine eventually
-routes — an evicted source is simply recomputed on its next send.
+ever routes from its own seat.  The per-source cache is LRU-bounded; by
+default the bound adapts to ``max(512, machine count)``, because packet
+forwarding makes every machine on a multi-hop path a routing source —
+the steady-state working set IS one table per machine, and an LRU
+capped below it degenerates to a full Dijkstra per forwarded hop
+(cyclic access over V sources with limit < V evicts on every lookup).
+Passing ``route_cache_limit`` explicitly pins a hard cap instead, which
+keeps memory at O(limit * V) at the price of recomputing evicted
+sources on their next send.
 
 Builders are provided for the shapes used in tests and benchmarks: full
 mesh (the default, matching a shared bus/LAN), line, ring, and star, plus
@@ -29,10 +34,11 @@ from repro.errors import NoRouteError, UnknownMachineError
 #: Machines are identified by small integers, like DEMOS/MP processor ids.
 MachineId = int
 
-#: Default cap on cached per-source routing tables.  Kernels route from
-#: their own seat, so steady state needs one table per machine that
-#: actually sends; 512 covers every cluster size the benchmarks run
-#: while keeping worst-case memory O(limit * V) instead of O(V^2).
+#: Floor for the adaptive route-cache bound.  The effective default is
+#: ``max(DEFAULT_ROUTE_CACHE_LIMIT, len(machines))``: forwarding makes
+#: every machine on a multi-hop path a routing source, so anything
+#: below one table per machine thrashes once the cluster outgrows the
+#: cap (each evicted source costs a full Dijkstra on its next hop).
 DEFAULT_ROUTE_CACHE_LIMIT = 512
 
 
@@ -54,10 +60,8 @@ class Wire:
 class Topology:
     """The set of machines and wires, plus shortest-path routing."""
 
-    def __init__(
-        self, route_cache_limit: int = DEFAULT_ROUTE_CACHE_LIMIT
-    ) -> None:
-        if route_cache_limit < 1:
+    def __init__(self, route_cache_limit: int | None = None) -> None:
+        if route_cache_limit is not None and route_cache_limit < 1:
             raise ValueError(
                 f"route_cache_limit must be positive, got {route_cache_limit}"
             )
@@ -71,12 +75,13 @@ class Topology:
         self._adjacency: dict[MachineId, list[tuple[MachineId, int]]] = {}
         # Routing tables keyed by source, filled on first route from that
         # source, discarded wholesale whenever a wire changes, and bounded
-        # LRU-wise at route_cache_limit sources (least recently routed-from
-        # evicted first; a victim is simply recomputed on its next route).
+        # LRU-wise (least recently routed-from evicted first; a victim is
+        # simply recomputed on its next route).  None = adaptive bound,
+        # max(DEFAULT_ROUTE_CACHE_LIMIT, machine count).
         self._routes: OrderedDict[
             MachineId, dict[MachineId, MachineId]
         ] = OrderedDict()
-        self._route_cache_limit = route_cache_limit
+        self._route_cache_limit: int | None = route_cache_limit
 
     @property
     def machines(self) -> list[MachineId]:
@@ -120,6 +125,17 @@ class Topology:
         else:
             self._adjacency[a].append((b, latency))
         self._wires[(a, b)] = Wire(a, b, latency, bandwidth)
+
+    def min_latency(self) -> int | None:
+        """The smallest wire latency, or None on a wireless topology.
+
+        This is the conservative lookahead of the sharded executor: a
+        packet put on any wire at time ``t`` cannot influence another
+        machine before ``t + min_latency()``, whatever the partition.
+        """
+        if not self._wires:
+            return None
+        return min(wire.latency for wire in self._wires.values())
 
     def wire(self, a: MachineId, b: MachineId) -> Wire:
         """The wire from *a* to *b* (adjacent machines only)."""
@@ -185,7 +201,10 @@ class Topology:
                     first[b] = first.get(here, b) if here != source else b
                     heapq.heappush(heap, (nd, b))
         self._routes[source] = first
-        if len(self._routes) > self._route_cache_limit:
+        limit = self._route_cache_limit
+        if limit is None:
+            limit = max(DEFAULT_ROUTE_CACHE_LIMIT, len(self._machines))
+        if len(self._routes) > limit:
             self._routes.popitem(last=False)
         return first
 

@@ -484,3 +484,92 @@ class MetricsRegistry:
             gauges=group(self._gauges, lambda g: g.value),
             histograms=group(self._histograms, lambda h: h.freeze()),
         )
+
+
+# ----------------------------------------------------------------------
+# Cross-registry merging (sharded execution)
+# ----------------------------------------------------------------------
+
+
+def thaw_histogram(
+    name: str, labels: LabelSet, snapshot: HistogramSnapshot
+) -> Histogram:
+    """Rebuild a live :class:`Histogram` equivalent to *snapshot*.
+
+    The snapshot stores Prometheus-style cumulative bucket counts; the
+    live instrument keeps per-bucket counts, so this de-cumulates.  The
+    round trip is exact: ``thaw_histogram(...).freeze() == snapshot``
+    (observations beyond the last bound survive in ``count``/``sum``
+    without a bucket, same as in the original instrument).
+    """
+    histogram = Histogram(name, labels, buckets=snapshot.bucket_bounds)
+    previous = 0
+    counts = []
+    for cumulative in snapshot.bucket_counts:
+        counts.append(cumulative - previous)
+        previous = cumulative
+    histogram._bucket_counts = counts
+    histogram.count = snapshot.count
+    histogram.sum = snapshot.sum
+    histogram.min = snapshot.min
+    histogram.max = snapshot.max
+    return histogram
+
+
+def merge_histogram_snapshots(
+    snapshots: Iterable[HistogramSnapshot],
+    name: str = "merged",
+    labels: LabelSet = (),
+) -> HistogramSnapshot:
+    """Fold several histogram snapshots into one distribution.
+
+    Thaws each snapshot and reuses :meth:`Histogram.merge`, so the
+    result is exactly the snapshot of a single histogram that had
+    observed every shard's stream; identical bucket bounds required.
+    """
+    merged: Histogram | None = None
+    for snapshot in snapshots:
+        thawed = thaw_histogram(name, labels, snapshot)
+        if merged is None:
+            merged = thawed
+        else:
+            merged.merge(thawed)
+    if merged is None:
+        raise ValueError("cannot merge zero histogram snapshots")
+    return merged.freeze()
+
+
+def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Combine per-shard registry snapshots into one system-wide view.
+
+    Counters and gauges sum per ``(name, labels)`` series — shard-local
+    series (e.g. ``sim.events_fired{shard=i}``) carry a shard label, so
+    nothing that should stay distinct collides.  Histograms with the
+    same series key merge via :func:`merge_histogram_snapshots`.
+    """
+    counters: dict[str, dict[LabelSet, float]] = {}
+    gauges: dict[str, dict[LabelSet, float]] = {}
+    parts: dict[str, dict[LabelSet, list[HistogramSnapshot]]] = {}
+    for snapshot in snapshots:
+        for target, section in (
+            (counters, snapshot.counters),
+            (gauges, snapshot.gauges),
+        ):
+            for name, series in section.items():
+                bucket = target.setdefault(name, {})
+                for labels, value in series.items():
+                    bucket[labels] = bucket.get(labels, 0) + value
+        for name, series in snapshot.histograms.items():
+            bucket = parts.setdefault(name, {})
+            for labels, hist in series.items():
+                bucket.setdefault(labels, []).append(hist)
+    histograms = {
+        name: {
+            labels: merge_histogram_snapshots(group, name, labels)
+            for labels, group in series.items()
+        }
+        for name, series in parts.items()
+    }
+    return MetricsSnapshot(
+        counters=counters, gauges=gauges, histograms=histograms
+    )

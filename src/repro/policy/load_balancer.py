@@ -48,15 +48,20 @@ class BalancerStats:
     migrations_failed: int = 0
     moves: list[tuple[str, int, int]] = field(default_factory=list)
 
-    def publish(self, registry) -> None:
-        """Mirror the balancer's decisions into a metrics registry."""
+    def publish(self, registry, **labels) -> None:
+        """Mirror the balancer's decisions into a metrics registry.
+
+        *labels* distinguish concurrent balancers (e.g. one per
+        topology domain) so their series do not collide when per-shard
+        snapshots are merged.
+        """
         for name in (
             "samples", "imbalanced_samples", "migrations_started",
             "migrations_succeeded", "migrations_failed",
         ):
-            registry.counter(f"policy.balancer.{name}").set_total(
-                getattr(self, name)
-            )
+            registry.counter(
+                f"policy.balancer.{name}", **labels
+            ).set_total(getattr(self, name))
 
 
 class ThresholdLoadBalancer:
@@ -175,3 +180,32 @@ class ThresholdLoadBalancer:
             self.stats.migrations_succeeded += 1
         else:
             self.stats.migrations_failed += 1
+
+
+class DomainLoadBalancer(ThresholdLoadBalancer):
+    """A threshold balancer scoped to one topology neighbourhood.
+
+    Runs against a :class:`repro.sim.shard.DomainView` — a torus row, a
+    clique, any machine set the shard partitioner keeps whole — instead
+    of the global system.  Its inputs (the domain's run-queue loads) and
+    outputs (an intra-domain migration) are functions of per-machine
+    state only, which is what makes its decisions identical across
+    shard layouts and lets it run inside a forked worker.  One balancer
+    per domain replaces the global :class:`ThresholdLoadBalancer` in
+    sharded scenarios; stats publish with a ``domain`` label so the
+    merged snapshot keeps each domain's series distinct.
+    """
+
+    def __init__(self, view, domain, **kwargs) -> None:
+        super().__init__(view, **kwargs)
+        #: label identifying this domain in metrics and traces
+        self.domain = domain
+
+    def install(self) -> None:
+        """Start sampling on the domain's shard loop."""
+        self.system.metrics.register_collector(
+            lambda registry: self.stats.publish(
+                registry, domain=self.domain
+            )
+        )
+        self.system.loop.call_after(self.interval, self._tick)

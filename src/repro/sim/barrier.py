@@ -1,0 +1,247 @@
+"""Conservative time-window barriers for sharded execution.
+
+The sharded engine (:mod:`repro.sim.shard`) partitions the machine set
+into shards, each with its own :class:`~repro.sim.loop.EventLoop`.  The
+machines only interact through the network, and every wire has a
+non-zero latency, so a packet put on a wire at time ``t`` cannot affect
+any machine before ``t + L`` where ``L`` is the smallest wire latency in
+the topology.  That is the classic conservative-PDES lookahead argument:
+all events in the half-open window ``[s, s + L)`` are causally
+independent across shards and safe to execute in parallel.
+
+Two rules make the result not merely *equivalent* but *byte-identical*
+for every shard count (the repo's determinism gate diffs ``shards=1``
+against ``shards=4``):
+
+- **Every** inter-machine hop — including hops whose source and
+  destination land in the same shard — is converted into a
+  :class:`HopRecord` and injected at a barrier, never scheduled
+  directly.  Records pending at a barrier are sorted by the canonical
+  key ``(arrival, src, dst, wire_seq)`` before injection, so the
+  relative ``(time, seq)`` order of deliveries on any one machine's
+  loop is a function of the simulation state alone, not of how machines
+  were grouped into shards.
+- The window length is the minimum latency over **all** wires, not the
+  minimum over wires that happen to cross a shard boundary.  A
+  boundary-crossing minimum would be a function of the partition (and
+  undefined at ``shards=1``); the global minimum is never larger, so it
+  is still a sound lookahead, and it makes the window grid — and hence
+  which records share a barrier — identical for every shard count.
+
+Windows are aligned to a fixed grid (``[k*L, (k+1)*L)``), and globally
+empty windows are skipped: a barrier where no shard has work injects
+nothing and assigns no event sequence numbers, so fast-forwarding over
+it cannot perturb later ordering.
+
+Two runners share the schedule: :class:`SerialBarrierRunner` drives all
+shards in one process (the reference executor, also used for
+``shards=1``), and :class:`WorkerBarrier` drives a single shard inside
+a forked worker, exchanging records with its peers over pairwise pipes.
+Both compute the same global next-event time each round, so they follow
+exactly the same window sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from operator import attrgetter
+from typing import TYPE_CHECKING, Any, Iterable, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+
+
+@dataclass(frozen=True, slots=True)
+class HopRecord:
+    """One packet hop travelling along one wire, barrier-to-barrier.
+
+    ``wire_seq`` is a per-directed-wire monotone counter owned by the
+    wire's source shard; together with ``(arrival, src, dst)`` it gives
+    every record pending at a barrier a total order that does not
+    depend on the shard layout.
+    """
+
+    arrival: int  #: simulated time the hop completes at ``dst``
+    src: int  #: machine the hop leaves from
+    dst: int  #: machine the hop arrives at (next hop, not final dest)
+    wire_seq: int  #: per-wire transmit counter (duplicates get their own)
+    packet: Any  #: the in-flight :class:`~repro.net.packet.Packet`
+
+
+#: Canonical barrier injection order (see module docstring).
+RECORD_KEY = attrgetter("arrival", "src", "dst", "wire_seq")
+
+
+def sort_records(records: Iterable[HopRecord]) -> list[HopRecord]:
+    """Records in canonical injection order."""
+    return sorted(records, key=RECORD_KEY)
+
+
+def window_end(time: int, lookahead: int) -> int:
+    """End of the grid-aligned window containing *time*."""
+    return (time // lookahead + 1) * lookahead
+
+
+class ShardPeer(Protocol):
+    """What a barrier runner needs from one shard's runtime."""
+
+    def next_event_time(self) -> int | None:
+        """Earliest pending event on this shard's loop, or None."""
+        ...  # pragma: no cover
+
+    def run_window(self, deadline: int) -> None:
+        """Execute all events with ``time <= deadline``."""
+        ...  # pragma: no cover
+
+    def advance_to(self, time: int) -> None:
+        """Move the clock to *time* (no events there by contract)."""
+        ...  # pragma: no cover
+
+    def drain_outboxes(self) -> dict[int, list[HopRecord]]:
+        """Take (and clear) pending records, keyed by dest shard."""
+        ...  # pragma: no cover
+
+    def inject(self, records: list[HopRecord]) -> None:
+        """Schedule canonically ordered *records* on this shard's loop."""
+        ...  # pragma: no cover
+
+
+def _next_time(*candidates: int | None) -> int | None:
+    """Minimum of the non-None candidates (None when all are None)."""
+    live = [c for c in candidates if c is not None]
+    return min(live) if live else None
+
+
+class SerialBarrierRunner:
+    """Drive every shard in one process on the shared window schedule.
+
+    This is both the ``shards=1`` executor and the reference semantics
+    the forked executor must match: the two runners make identical
+    window decisions because they compute the same global next-event
+    time from the same inputs each round.
+    """
+
+    def __init__(self, peers: list[ShardPeer], lookahead: int) -> None:
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        self.peers = peers
+        self.lookahead = lookahead
+        #: windows executed (diagnostics; identical for any shard count)
+        self.windows = 0
+        #: hop records exchanged at barriers (diagnostics)
+        self.records_exchanged = 0
+
+    def run(self, horizon: int | None = None) -> None:
+        """Execute windows until quiescence (or the *horizon* clock)."""
+        peers = self.peers
+        lookahead = self.lookahead
+        while True:
+            self._exchange_all()
+            nxt = _next_time(*(p.next_event_time() for p in peers))
+            if nxt is None or (horizon is not None and nxt > horizon):
+                break
+            end = window_end(nxt, lookahead)
+            deadline = end - 1 if horizon is None else min(end - 1, horizon)
+            for peer in peers:
+                peer.run_window(deadline)
+            self.windows += 1
+            if horizon is not None and deadline >= horizon:
+                self._exchange_all()
+                break
+        if horizon is not None:
+            for peer in peers:
+                peer.advance_to(horizon)
+
+    def _exchange_all(self) -> None:
+        """Move every pending record to its destination shard, in
+        canonical order per destination."""
+        by_dest: dict[int, list[HopRecord]] = {}
+        for peer in self.peers:
+            for dest, records in peer.drain_outboxes().items():
+                by_dest.setdefault(dest, []).extend(records)
+        for dest, records in by_dest.items():
+            self.records_exchanged += len(records)
+            self.peers[dest].inject(sort_records(records))
+
+
+class WorkerBarrier:
+    """Drive one shard inside a worker process on the shared schedule.
+
+    Each barrier round is a pairwise exchange with every peer worker:
+    worker *i* sends ``(records bound for j, i's next event time, the
+    earliest arrival among everything i is sending this round)`` and
+    receives the same triple from *j*.  The third element lets every
+    worker compute the same global next-event time even for records
+    exchanged between two *other* workers, without an extra round trip.
+
+    Pipes are used in index order (lower index sends first), so the
+    rendezvous pattern is deterministic and deadlock-free for the small
+    worker counts the engine targets.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        peer_conns: dict[int, "Connection"],
+        lookahead: int,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        self.index = index
+        self.peer_conns = peer_conns
+        self.lookahead = lookahead
+        self.windows = 0
+        self.records_exchanged = 0
+
+    def _exchange(self, peer: ShardPeer) -> int | None:
+        """One barrier round; injects inbound records and returns the
+        global next-event time (None == global quiescence)."""
+        outboxes = peer.drain_outboxes()
+        head = peer.next_event_time()
+        min_out = _next_time(
+            *(
+                record.arrival
+                for records in outboxes.values()
+                for record in records
+            )
+        )
+        inbound: list[HopRecord] = list(outboxes.pop(self.index, ()))
+        nxt = _next_time(head, min_out)
+        for j in sorted(self.peer_conns):
+            conn = self.peer_conns[j]
+            message = (outboxes.pop(j, []), head, min_out)
+            if self.index < j:
+                conn.send(message)
+                their_records, their_head, their_min_out = conn.recv()
+            else:
+                their_records, their_head, their_min_out = conn.recv()
+                conn.send(message)
+            inbound.extend(their_records)
+            nxt = _next_time(nxt, their_head, their_min_out)
+        if outboxes:
+            leftover = sorted(outboxes)
+            raise RuntimeError(
+                f"shard {self.index} produced records for unknown "
+                f"shards {leftover}"
+            )
+        if inbound:
+            self.records_exchanged += len(inbound)
+            peer.inject(sort_records(inbound))
+        return nxt
+
+    def run(self, peer: ShardPeer, horizon: int | None = None) -> None:
+        """Execute windows until global quiescence (or *horizon*)."""
+        lookahead = self.lookahead
+        while True:
+            nxt = self._exchange(peer)
+            if nxt is None or (horizon is not None and nxt > horizon):
+                break
+            end = window_end(nxt, lookahead)
+            deadline = end - 1 if horizon is None else min(end - 1, horizon)
+            peer.run_window(deadline)
+            self.windows += 1
+            if horizon is not None and deadline >= horizon:
+                self._exchange(peer)
+                break
+        if horizon is not None:
+            peer.advance_to(horizon)

@@ -51,6 +51,16 @@ class EventLoop:
         """Number of live events still scheduled."""
         return len(self._queue)
 
+    def next_event_time(self) -> int | None:
+        """Time of the earliest live event, or None when the queue is
+        empty.
+
+        The windowed (sharded) executor uses this between ``run_until``
+        calls to pick the next conservative time window; pure peek, no
+        state change.
+        """
+        return self._queue.peek_time()
+
     def call_at(
         self,
         time: int,

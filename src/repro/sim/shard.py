@@ -1,0 +1,617 @@
+"""The sharded parallel execution engine.
+
+A :class:`ShardedSystem` is the multi-loop sibling of
+:class:`repro.core.system.System`: the machine set is partitioned into
+``config.shards`` shards, each with its own event loop, tracer, metrics
+registry, :class:`~repro.net.network.ShardNetwork` and kernels.  Shards
+execute conservative time windows in lockstep (see
+:mod:`repro.sim.barrier`), exchanging in-flight packet hops at window
+barriers — DEMOS/MP is "per-processor kernels" by construction, so the
+machine boundary is exactly the distribution boundary.
+
+Two executors share one window schedule:
+
+- **serial** — every shard driven by one process
+  (:class:`~repro.sim.barrier.SerialBarrierRunner`).  Fully general:
+  live process generators may migrate across shard boundaries because
+  everything shares an address space.  ``shards=1`` under this executor
+  is the determinism reference.
+- **fork** — one ``multiprocessing`` (fork) worker per shard
+  (:class:`~repro.sim.barrier.WorkerBarrier`).  This is the throughput
+  executor; everything that crosses a shard boundary must pickle, which
+  holds for ordinary message payloads but *not* for a live process
+  generator — scenario code that migrates processes across shards must
+  keep to the serial executor (intra-shard migration is fine anywhere).
+
+Partitioning is topology-aware: machine ids are split into contiguous
+near-even ranges, snapped to an alignment that keeps each neighbourhood
+co-resident — a torus row, a whole clique — so balancer domains and
+bulk local traffic stay inside one shard.
+
+Determinism: every gated counter is byte-identical for every shard
+count.  The argument lives in :mod:`repro.sim.barrier`; the engine-side
+obligations are (a) all hops go through barrier outboxes, (b) per-wire
+state lives with the wire's source shard, (c) build-time event order is
+the single global order of this module's constructors, and (d) scenario
+drivers anchor decisions to per-machine state (see
+:meth:`ShardedSystem.schedule_migration` and
+:class:`repro.policy.load_balancer.DomainLoadBalancer`) rather than to
+a cross-shard global view.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.config import SystemConfig, near_square_factor
+from repro.core.registry import registered_programs
+from repro.core.system import MigrationTicket, boot_standard_servers
+from repro.errors import ConfigError, SimulationError, UnknownProcessError
+from repro.kernel.ids import ProcessAddress, ProcessId
+from repro.kernel.kernel import Kernel
+from repro.net.network import ShardNetwork
+from repro.net.topology import MachineId, Topology
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.sim.barrier import SerialBarrierRunner, WorkerBarrier
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.barrier import HopRecord
+    from repro.stats.migration_cost import MigrationCostRecord
+
+
+def shard_alignment(config: SystemConfig) -> int:
+    """Smallest machine-id block the partitioner must keep whole.
+
+    Torus rows and whole cliques are the natural traffic neighbourhoods
+    (and the balancer domains), so they must not straddle a shard
+    boundary; every other shape partitions freely (hypercube blocks of
+    ``n // shards`` are subcubes whenever the counts are powers of two,
+    which ``validate()`` guarantees for the machine count).
+    """
+    if config.topology == "torus":
+        return config.machines // near_square_factor(config.machines)
+    if config.topology == "cliques":
+        return near_square_factor(config.machines)
+    return 1
+
+
+def partition_machines(
+    machines: list[MachineId], shards: int, alignment: int = 1
+) -> list[list[MachineId]]:
+    """Split *machines* into contiguous, near-even, aligned groups.
+
+    Units of *alignment* consecutive machines are distributed so group
+    sizes differ by at most one unit; the id ranges are contiguous, so
+    a group is a band of torus rows, a run of whole cliques, or (for
+    power-of-two counts) a subcube.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if len(machines) % alignment:
+        raise ConfigError(
+            f"{len(machines)} machines do not divide into units "
+            f"of {alignment}"
+        )
+    units = [
+        machines[i: i + alignment]
+        for i in range(0, len(machines), alignment)
+    ]
+    if len(units) < shards:
+        raise ConfigError(
+            f"cannot split {len(units)} aligned unit(s) of {alignment} "
+            f"machine(s) into {shards} shards"
+        )
+    base, extra = divmod(len(units), shards)
+    groups: list[list[MachineId]] = []
+    start = 0
+    for index in range(shards):
+        count = base + (1 if index < extra else 0)
+        chunk = units[start: start + count]
+        groups.append([m for unit in chunk for m in unit])
+        start += count
+    return groups
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one machine set maps onto shards."""
+
+    shards: tuple[tuple[MachineId, ...], ...]
+    lookahead: int  #: conservative window length (min wire latency)
+    _shard_of: dict[MachineId, int]
+
+    @classmethod
+    def build(cls, config: SystemConfig, topology: Topology) -> "ShardPlan":
+        groups = partition_machines(
+            topology.machines, config.shards, shard_alignment(config)
+        )
+        lookahead = topology.min_latency()
+        if lookahead is None or lookahead < 1:
+            raise ConfigError(
+                "sharded execution needs every wire latency >= 1 "
+                "(zero lookahead admits no conservative window)"
+            )
+        shard_of = {
+            machine: index
+            for index, group in enumerate(groups)
+            for machine in group
+        }
+        return cls(
+            shards=tuple(tuple(g) for g in groups),
+            lookahead=lookahead,
+            _shard_of=shard_of,
+        )
+
+    def shard_of(self, machine: MachineId) -> int:
+        """The shard index owning *machine*."""
+        try:
+            return self._shard_of[machine]
+        except KeyError:
+            raise ConfigError(f"no machine {machine}") from None
+
+
+@dataclass
+class Shard:
+    """One shard's runtime: a loop, its kernels, and its network."""
+
+    index: int
+    machines: list[MachineId]
+    loop: EventLoop
+    tracer: Tracer
+    metrics: MetricsRegistry
+    network: ShardNetwork
+    kernels: dict[MachineId, Kernel]
+
+
+class ShardRuntime:
+    """Adapter giving the barrier runners their ``ShardPeer`` surface."""
+
+    __slots__ = ("shard",)
+
+    def __init__(self, shard: Shard) -> None:
+        self.shard = shard
+
+    def next_event_time(self) -> int | None:
+        return self.shard.loop.next_event_time()
+
+    def run_window(self, deadline: int) -> None:
+        self.shard.loop.run_until(deadline)
+
+    def advance_to(self, time: int) -> None:
+        if time > self.shard.loop.now:
+            self.shard.loop.run_until(time)
+
+    def drain_outboxes(self) -> dict[int, list["HopRecord"]]:
+        return self.shard.network.take_outboxes()
+
+    def inject(self, records: list["HopRecord"]) -> None:
+        receive = self.shard.network.receive_record
+        for record in records:
+            receive(record)
+
+
+class DomainView:
+    """A ``System``-shaped window onto one shard, scoped to a domain.
+
+    :class:`~repro.policy.load_balancer.DomainLoadBalancer` (and any
+    other per-neighbourhood policy) runs against this instead of the
+    global system, so its decisions read only domain-local state — the
+    property that keeps policy behaviour independent of the shard
+    layout *and* executable inside a forked worker.
+    """
+
+    def __init__(self, shard: Shard, machines: list[MachineId]) -> None:
+        missing = [m for m in machines if m not in shard.kernels]
+        if missing:
+            raise ConfigError(
+                f"domain machines {missing} are not in shard {shard.index} "
+                f"(a policy domain must sit inside one shard)"
+            )
+        self.shard = shard
+        self.loop = shard.loop
+        self.tracer = shard.tracer
+        self.metrics = shard.metrics
+        self.kernels = [shard.kernels[m] for m in machines]
+        self._by_machine = {k.machine: k for k in self.kernels}
+
+    def kernel(self, machine: MachineId) -> Kernel:
+        try:
+            return self._by_machine[machine]
+        except KeyError:
+            raise ConfigError(
+                f"machine {machine} is outside this domain"
+            ) from None
+
+
+class ShardedSystem:
+    """One simulated DEMOS/MP installation across parallel shards."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.config.validate()
+        self.topology = self.config.build_topology()
+        self.plan = ShardPlan.build(self.config, self.topology)
+        self.rngs = RandomStreams(self.config.seed)
+        #: shared by every kernel; server boots add entries as they come
+        #: up.  Fully populated at build time, so forked workers all see
+        #: the same (copied) directory.
+        self.well_known: dict[str, ProcessAddress] = {}
+        self.server_pids: dict[str, ProcessId] = {}
+        self.shards: list[Shard] = []
+        kernel_config = self.config.kernel_config()
+        programs = registered_programs()
+        for index, machines in enumerate(self.plan.shards):
+            loop = EventLoop()
+            tracer = Tracer(
+                (lambda _loop=loop: _loop.now),
+                max_records=self.config.max_trace_records,
+                enabled_categories=self.config.trace_categories,
+            )
+            metrics = MetricsRegistry(enabled=self.config.metrics_enabled)
+            network = ShardNetwork(
+                loop,
+                self.topology,
+                shard_index=index,
+                shard_of=self.plan.shard_of,
+                machines=list(machines),
+                tracer=tracer,
+                rngs=self.rngs,
+                faults=self.config.faults,
+                rto=self.config.rto,
+                metrics=metrics,
+            )
+            kernels = {
+                machine: Kernel(
+                    machine,
+                    loop,
+                    network,
+                    tracer,
+                    config=kernel_config,
+                    well_known=self.well_known,
+                    metrics=metrics,
+                )
+                for machine in machines
+            }
+            for name, factory in programs.items():
+                for kernel in kernels.values():
+                    kernel.register_program(name, factory)
+            shard = Shard(
+                index, list(machines), loop, tracer, metrics, network,
+                kernels,
+            )
+            metrics.register_collector(
+                lambda registry, _shard=shard: self._publish_sim_metrics(
+                    registry, _shard
+                )
+            )
+            self.shards.append(shard)
+        self._runner = SerialBarrierRunner(
+            [ShardRuntime(shard) for shard in self.shards],
+            self.plan.lookahead,
+        )
+        #: set once a forked execution has consumed this system
+        self._forked = False
+        if self.config.boot_servers:
+            boot_standard_servers(self)
+
+    # ------------------------------------------------------------------
+    # Build-time scenario wiring
+    # ------------------------------------------------------------------
+
+    def kernel(self, machine: MachineId) -> Kernel:
+        """The kernel running on *machine*."""
+        shard = self.shards[self.plan.shard_of(machine)]
+        return shard.kernels[machine]
+
+    def shard_for(self, machine: MachineId) -> Shard:
+        """The shard owning *machine*."""
+        return self.shards[self.plan.shard_of(machine)]
+
+    def domain_view(self, machines: list[MachineId]) -> DomainView:
+        """A policy-facing view of one topology neighbourhood.
+
+        All *machines* must live in one shard (the partitioner keeps
+        aligned neighbourhoods whole, so any domain that respects the
+        alignment satisfies this for every shard count).
+        """
+        if not machines:
+            raise ConfigError("a domain needs at least one machine")
+        return DomainView(self.shard_for(machines[0]), machines)
+
+    def spawn(
+        self,
+        program: Callable,
+        machine: MachineId = 0,
+        name: str = "",
+        **kwargs: Any,
+    ) -> ProcessId:
+        """Create a process on *machine* running *program*."""
+        return self.kernel(machine).spawn(program, name=name, **kwargs)
+
+    def call_at(
+        self,
+        time: int,
+        machine: MachineId,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Schedule driver code at *time* on *machine*'s shard loop.
+
+        The machine anchor is what keeps scheduled scenario actions
+        executable in a forked worker (the closure runs where the
+        machine's state lives) and shard-layout independent.
+        """
+        self.shard_for(machine).loop.call_at(time, callback, *args)
+
+    def schedule_spawn(
+        self,
+        at: int,
+        machine: MachineId,
+        program: Callable,
+        name: str = "",
+    ) -> None:
+        """Spawn *program* on *machine* at simulated time *at*."""
+        self.call_at(
+            at, machine,
+            lambda: self.kernel(machine).spawn(program, name=name),
+        )
+
+    def schedule_migration(
+        self,
+        at: int,
+        pid: ProcessId,
+        home: MachineId,
+        dest: MachineId,
+        on_done: Callable[[bool, "MigrationCostRecord"], None] | None = None,
+    ) -> None:
+        """Ask *home*'s kernel to migrate *pid* to *dest* at time *at*.
+
+        Unlike :meth:`System.migrate` this is anchored to a machine,
+        not to an omniscient process lookup: if the process is no
+        longer on *home* at that tick (it exited, or a policy moved
+        it), the request is skipped.  Per-machine state is identical
+        across shard layouts, so skip-or-start is too.
+        """
+
+        def _start() -> None:
+            kernel = self.kernel(home)
+            if pid in kernel.processes:
+                kernel.migration.start(pid, dest, on_done=on_done)
+
+        self.call_at(at, home, _start)
+
+    def migrate(
+        self,
+        pid: ProcessId,
+        dest: MachineId,
+        on_done: Callable[[bool, "MigrationCostRecord"], None] | None = None,
+    ) -> MigrationTicket:
+        """Immediate migration request (serial-executor convenience).
+
+        Looks the process up across all shards, so tests can drive
+        cross-shard migrations directly; scenario code meant for the
+        forked executor should use :meth:`schedule_migration`.
+        """
+        ticket = MigrationTicket(pid, dest)
+        kernel = self.kernel_hosting(pid)
+        if kernel is None:
+            raise UnknownProcessError(f"{pid} is not running anywhere")
+
+        def _done(success: bool, record: "MigrationCostRecord") -> None:
+            ticket._complete(success, record)
+            if on_done is not None:
+                on_done(success, record)
+
+        ticket.initiated = kernel.migration.start(pid, dest, on_done=_done)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, until: int | None = None) -> None:
+        """Serial windowed execution; with *until*, stop the clocks there."""
+        self._require_not_forked()
+        self._runner.run(horizon=until)
+
+    def drain(self) -> None:
+        """Serial execution to global quiescence."""
+        self._require_not_forked()
+        self._runner.run(horizon=None)
+
+    def execute(
+        self,
+        until: int | None,
+        collect: Callable[[Shard], Any],
+        executor: str = "serial",
+    ) -> list[Any]:
+        """Run to *until*, drain, and gather one result per shard.
+
+        ``collect`` runs against each shard after quiescence — in this
+        process (serial) or inside the owning worker (fork), where it
+        must return something picklable.  Both executors follow the
+        identical window schedule, so the collected results match
+        byte for byte.
+        """
+        if executor == "serial":
+            self.run(until=until)
+            self.drain()
+            return [collect(shard) for shard in self.shards]
+        if executor == "fork":
+            return self._execute_forked(until, collect)
+        raise ConfigError(f"unknown executor {executor!r}")
+
+    def _require_not_forked(self) -> None:
+        if self._forked:
+            raise SimulationError(
+                "this ShardedSystem already ran under the fork executor; "
+                "its in-process state is stale (build a fresh system)"
+            )
+
+    def _execute_forked(
+        self, until: int | None, collect: Callable[[Shard], Any]
+    ) -> list[Any]:
+        """One-shot forked execution: one worker per shard."""
+        self._require_not_forked()
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # No fork on this platform: the serial executor computes the
+            # identical result (the schedule is shared), just without
+            # parallel speedup.
+            return self.execute(until, collect, executor="serial")
+        self._forked = True
+        ctx = multiprocessing.get_context("fork")
+        count = len(self.shards)
+        pair_conns: dict[int, dict[int, Any]] = {
+            i: {} for i in range(count)
+        }
+        for i in range(count):
+            for j in range(i + 1, count):
+                a, b = ctx.Pipe()
+                pair_conns[i][j] = a
+                pair_conns[j][i] = b
+        result_conns = []
+        workers = []
+        for index in range(count):
+            parent_end, child_end = ctx.Pipe(duplex=False)
+            worker = ctx.Process(
+                target=_forked_worker,
+                name=f"shard-{index}",
+                args=(
+                    self, index, pair_conns, child_end, until, collect,
+                ),
+            )
+            worker.start()
+            child_end.close()
+            result_conns.append(parent_end)
+            workers.append(worker)
+        # The parent must not hold write ends of the inter-worker pipes,
+        # or a dead worker's peers would block forever instead of seeing
+        # EOF and unwinding.
+        for conns in pair_conns.values():
+            for conn in conns.values():
+                conn.close()
+        results: list[Any] = [None] * count
+        failed: list[int] = []
+        for index, conn in enumerate(result_conns):
+            try:
+                results[index] = conn.recv()
+            except EOFError:
+                failed.append(index)
+            finally:
+                conn.close()
+        for worker in workers:
+            worker.join()
+        if failed:
+            codes = {i: workers[i].exitcode for i in failed}
+            raise SimulationError(
+                f"shard worker(s) {failed} died (exit codes {codes}); "
+                "a common cause is an unpicklable cross-shard payload "
+                "(e.g. migrating a live process between shards) — "
+                "use the serial executor for such scenarios"
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Inspection (serial executor / post-build)
+    # ------------------------------------------------------------------
+
+    def _publish_sim_metrics(
+        self, registry: MetricsRegistry, shard: Shard
+    ) -> None:
+        registry.gauge("sim.now_us", shard=shard.index).set(shard.loop.now)
+        registry.counter(
+            "sim.events_fired", shard=shard.index
+        ).set_total(shard.loop.events_fired)
+
+    def kernels_in_machine_order(self) -> list[Kernel]:
+        """Every kernel, ordered by machine id."""
+        return [self.kernel(m) for m in self.topology.machines]
+
+    def kernel_hosting(self, pid: ProcessId) -> Kernel | None:
+        """The kernel where *pid* currently lives (omniscient; only
+        meaningful under the serial executor)."""
+        for kernel in self.kernels_in_machine_order():
+            if pid in kernel.processes:
+                return kernel
+        return None
+
+    def where_is(self, pid: ProcessId) -> MachineId | None:
+        """The machine currently hosting *pid*, or None."""
+        kernel = self.kernel_hosting(pid)
+        return kernel.machine if kernel is not None else None
+
+    def events_fired(self) -> int:
+        """Events executed across all shards (shard-count independent)."""
+        return sum(shard.loop.events_fired for shard in self.shards)
+
+    def now(self) -> int:
+        """The common barrier clock (max over shard clocks)."""
+        return max(shard.loop.now for shard in self.shards)
+
+    def quiescent(self) -> bool:
+        """No pending events, no queued hops, nothing awaiting an ack."""
+        return all(
+            shard.loop.pending_events == 0
+            and shard.network.in_flight() == 0
+            and shard.network.unacked() == 0
+            for shard in self.shards
+        )
+
+    def migration_records(self) -> list["MigrationCostRecord"]:
+        """Every completed migration's cost record, ordered by start."""
+        records = [
+            record
+            for kernel in self.kernels_in_machine_order()
+            for record in kernel.migration.completed
+        ]
+        return sorted(records, key=lambda r: r.started_at)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """One merged metrics snapshot across every shard registry."""
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots(
+            [shard.metrics.snapshot() for shard in self.shards]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSystem(machines={self.config.machines},"
+            f" shards={len(self.shards)},"
+            f" lookahead={self.plan.lookahead}us,"
+            f" now={self.now()}us, events={self.events_fired()})"
+        )
+
+
+def _forked_worker(
+    system: ShardedSystem,
+    index: int,
+    pair_conns: dict[int, dict[int, Any]],
+    result_conn: Any,
+    until: int | None,
+    collect: Callable[[Shard], Any],
+) -> None:  # pragma: no cover — runs in forked children
+    """Worker body: drive one shard to quiescence, ship the collection.
+
+    Runs in a forked child, so it inherits the fully built system; it
+    only ever *executes* its own shard's loop.  (Coverage is measured
+    in the parent; the serial executor exercises the same barrier
+    schedule in-process.)
+    """
+    for i, conns in pair_conns.items():
+        for j, conn in conns.items():
+            if i != index:
+                conn.close()
+    barrier = WorkerBarrier(
+        index, pair_conns[index], system.plan.lookahead
+    )
+    runtime = ShardRuntime(system.shards[index])
+    barrier.run(runtime, horizon=until)
+    barrier.run(runtime, horizon=None)
+    result_conn.send(collect(system.shards[index]))
+    result_conn.close()

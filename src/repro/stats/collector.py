@@ -18,6 +18,7 @@ from repro.obs.metrics import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import System
+    from repro.sim.shard import ShardedSystem
 
 #: scalar network counters surfaced in ``SystemReport.network``
 _NETWORK_SCALARS = (
@@ -192,4 +193,35 @@ def collect_report(system: "System") -> SystemReport:
         system.metrics.snapshot(),
         now=system.loop.now,
         machines=len(system.kernels),
+    )
+
+
+def collect_sharded_report(system: "ShardedSystem") -> SystemReport:
+    """Build one :class:`SystemReport` from a sharded system.
+
+    Takes each shard registry's snapshot and folds them with
+    :func:`repro.obs.metrics.merge_snapshots`, so the report reads
+    exactly like a single-loop run's: counters sum, the request-latency
+    histogram is the merged distribution across all shards.
+    """
+    return report_from_snapshot(
+        system.snapshot(),
+        now=system.now(),
+        machines=system.config.machines,
+    )
+
+
+def sharded_report_from_snapshots(
+    snapshots: list[MetricsSnapshot], now: int, machines: int
+) -> SystemReport:
+    """Assemble one report from already-collected per-shard snapshots.
+
+    The fork executor ships each worker's :class:`MetricsSnapshot` back
+    over a pipe; this merges them without needing the (stale) parent
+    system object.
+    """
+    from repro.obs.metrics import merge_snapshots
+
+    return report_from_snapshot(
+        merge_snapshots(snapshots), now=now, machines=machines
     )

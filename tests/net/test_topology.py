@@ -133,11 +133,25 @@ class TestRouteCacheLru:
         assert not topo._routes
         assert topo.next_hop(0, 2) == 2
 
-    def test_default_limit_is_512(self):
+    def test_default_limit_adapts_to_machine_count(self):
         from repro.net.topology import DEFAULT_ROUTE_CACHE_LIMIT
 
         assert DEFAULT_ROUTE_CACHE_LIMIT == 512
-        assert Topology()._route_cache_limit == 512
+        assert Topology()._route_cache_limit is None
+        # Every machine on a multi-hop path becomes a routing source
+        # when it forwards, so the adaptive bound must fit one table
+        # per machine — no eviction however many sources route.
+        topo = Topology.ring(8)
+        for src in range(8):
+            topo.next_hop(src, (src + 3) % 8)
+        assert len(topo._routes) == 8
+
+    def test_explicit_limit_still_binds(self):
+        topo = Topology.ring(8)
+        topo._route_cache_limit = 4
+        for src in range(8):
+            topo.next_hop(src, (src + 3) % 8)
+        assert len(topo._routes) == 4
 
     def test_constructor_limit_validated(self):
         with pytest.raises(ValueError):

@@ -16,12 +16,17 @@ check_bench = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(check_bench)
 
 
-def write_artifact(directory: Path, name: str, metrics: dict) -> Path:
+def write_artifact(
+    directory: Path, name: str, metrics: dict, meta: dict | None = None,
+) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
-    path.write_text(json.dumps({
+    payload = {
         "schema": check_bench.SCHEMA, "name": name, "metrics": metrics,
-    }))
+    }
+    if meta is not None:
+        payload["meta"] = meta
+    path.write_text(json.dumps(payload))
     return path
 
 
@@ -111,6 +116,66 @@ class TestComparison:
         write_artifact(results, "e_new", {"fresh": 7})
         # The new artifact is outside the subset this job gates.
         assert run(results, baselines, "--only", "BENCH_e1.json") == 0
+
+
+class TestMetaIdentity:
+    """A result from a differently parameterised run must fail as such,
+    not as a pile of metric drifts."""
+
+    def test_matching_meta_passes(self, dirs):
+        results, baselines = dirs
+        meta = {"machines": 64, "seed": 0}
+        write_artifact(baselines, "e11", {"a": 5}, meta=meta)
+        write_artifact(results, "e11", {"a": 5}, meta=meta)
+        assert run(results, baselines) == 0
+
+    def test_machine_count_mismatch_fails_loudly(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e11", {"a": 5},
+                       meta={"machines": 64, "seed": 0})
+        write_artifact(results, "e11", {"a": 5},
+                       meta={"machines": 8, "seed": 0})
+        assert run(results, baselines) == 1
+        out = capsys.readouterr().out
+        assert "meta.machines mismatch" in out
+
+    def test_seed_mismatch_fails_loudly(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e11", {"a": 5},
+                       meta={"machines": 64, "seed": 0})
+        write_artifact(results, "e11", {"a": 5},
+                       meta={"machines": 64, "seed": 7})
+        assert run(results, baselines) == 1
+        assert "meta.seed mismatch" in capsys.readouterr().out
+
+    def test_meta_mismatch_suppresses_metric_diff(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e11", {"a": 5},
+                       meta={"machines": 64, "seed": 0})
+        # Metric wildly off — but the real problem is the wrong machine
+        # count, and that is the only problem that should be reported.
+        write_artifact(results, "e11", {"a": 50_000},
+                       meta={"machines": 8, "seed": 0})
+        assert run(results, baselines) == 1
+        out = capsys.readouterr().out
+        assert "meta.machines mismatch" in out
+        assert "drifted" not in out
+
+    def test_result_missing_pinned_key_fails(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e11", {"a": 5},
+                       meta={"machines": 64, "seed": 0})
+        write_artifact(results, "e11", {"a": 5}, meta={"seed": 0})
+        assert run(results, baselines) == 1
+        assert "lacks 'machines'" in capsys.readouterr().out
+
+    def test_pre_meta_baseline_notes_but_passes(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e11", {"a": 5})
+        write_artifact(results, "e11", {"a": 5},
+                       meta={"machines": 64, "seed": 0})
+        assert run(results, baselines) == 0
+        assert "regenerate the baseline" in capsys.readouterr().out
 
 
 class TestValidation:
