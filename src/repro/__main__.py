@@ -8,6 +8,9 @@ Commands:
                     system (e.g. ``python -m repro shell "run compute" ps``);
 - ``report``      — run a mixed workload and print the system report
                     (``--json`` for a machine-readable metrics snapshot);
+- ``chaos``       — run the chaos campaign (scripted crashes,
+                    partitions, evacuations, migration storms) and gate
+                    the survivor invariants; non-zero exit on violation;
 - ``trace``       — run a migration scenario and export a Chrome
                     trace-event JSON (``--out``) loadable in Perfetto.
 """
@@ -179,6 +182,39 @@ def _report_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos campaign and gate the survivor invariants."""
+    from repro.chaos import SCENARIOS, run_campaign
+
+    result = run_campaign(args.scale, scenarios=args.scenario or None)
+    if args.json:
+        document = {
+            "scale": result.scale,
+            "scenarios": (
+                args.scenario if args.scenario else list(SCENARIOS)
+            ),
+            "counters": result.counters,
+            "problems": result.problems,
+            "ok": result.ok,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for outcome in result.outcomes:
+            verdict = "ok" if outcome.ok else "FAILED"
+            print(f"[{outcome.name}] {verdict}")
+            for event in outcome.ledger:
+                print(f"  t={event.at}us {event.kind}: {event.detail}")
+            for key, value in sorted(outcome.counters.items()):
+                print(f"  {key} = {value}")
+        if result.problems:
+            print("survivor invariant violations:")
+            for problem in result.problems:
+                print(f"  {problem}")
+        else:
+            print("all survivor invariants hold")
+    return 0 if result.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one migration (plus a stale-link probe) and export the trace."""
     from repro.kernel.ids import ProcessAddress
@@ -270,6 +306,24 @@ def main(argv: list[str] | None = None) -> int:
              "(>1 selects the sharded engine on a torus; default: 1)",
     )
     report.set_defaults(func=_cmd_report)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the chaos campaign, gate survivor invariants",
+    )
+    chaos.add_argument(
+        "--scale", choices=("smoke", "full"), default="smoke",
+        help="campaign size (default: smoke, the CI tier)",
+    )
+    chaos.add_argument(
+        "--scenario", action="append",
+        choices=("crash", "partition", "evacuate", "storm_parity"),
+        help="run only this scenario (repeatable; default: all)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit counters, ledger sizes and problems as JSON",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     trace = sub.add_parser(
         "trace", help="run a migration, export Chrome trace-event JSON",

@@ -1,0 +1,249 @@
+"""Scenario interpreter: schedules scripted faults into a live system.
+
+The engine owns nothing clever — every decision (what fails, when,
+where the survivors go) was pinned when the scenario was built.  Its
+job is to schedule the actions on the simulation clock, drive the
+repo's failure primitives when they fire, and keep a deterministic
+ledger of what actually happened (:class:`FaultEvent`).  Identical
+scenario + identical system config ⇒ identical ledger, byte for byte —
+the property the campaign gates and the Hypothesis suite fuzzes.
+
+Sharded systems get the shard-safe subset only (migration storms):
+crash recovery and transport surgery need a global network, and
+:class:`~repro.net.network.ShardNetwork` refuses them by design.  The
+ledger is kept in the driving process, so sharded scenarios must run
+under the serial executor (the same constraint as cross-shard live
+migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.chaos.scenario import (
+    ChaosScenario,
+    CrashMachine,
+    Evacuation,
+    FlakyLinks,
+    MigrationStorm,
+    Partition,
+)
+from repro.errors import SimulationError
+from repro.net.channel import FaultPlan
+from repro.net.topology import MachineId
+from repro.policy.metrics import migratable_processes
+from repro.policy.recovery import CrashRecoveryManager, CrashReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import System
+    from repro.sim.shard import ShardedSystem
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One fault the engine actually injected."""
+
+    at: int
+    kind: str
+    detail: str
+
+
+class ChaosEngine:
+    """Runs one :class:`ChaosScenario` against one system.
+
+    Usage::
+
+        engine = ChaosEngine(system, scenario)
+        engine.install()        # before (or alongside) the workload
+        system.run(...)         # faults fire on the simulation clock
+        engine.ledger()         # sorted FaultEvents, deterministic
+    """
+
+    def __init__(
+        self,
+        system: "System | ShardedSystem",
+        scenario: ChaosScenario,
+        recovery: CrashRecoveryManager | None = None,
+    ) -> None:
+        self.system = system
+        self.scenario = scenario
+        self.sharded = hasattr(system, "shards")
+        scenario.validate(len(system.topology.machines))
+        if self.sharded and not scenario.shard_safe:
+            raise SimulationError(
+                f"scenario {scenario.name!r} uses actions that need a "
+                f"global network (crash/partition/flaky links); only "
+                f"migration storms run under sharding"
+            )
+        if recovery is None and not self.sharded:
+            recovery = CrashRecoveryManager(system)
+        self.recovery = recovery
+        self.events: list[FaultEvent] = []
+        self.counts: dict[str, int] = {}
+        self.crash_reports: list[CrashReport] = []
+        self.installed = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Schedule every scenario action on the simulation clock."""
+        if self.installed:
+            raise SimulationError("engine already installed")
+        self.installed = True
+        for action in self.scenario.actions:
+            if isinstance(action, CrashMachine):
+                self._at(action.at, action.machine, self._crash, action)
+            elif isinstance(action, Partition):
+                self._at(action.at, 0, self._partition, action)
+                self._at(action.heal_at, 0, self._heal, action)
+            elif isinstance(action, FlakyLinks):
+                self._at(action.at, 0, self._flaky_start, action)
+                self._at(action.until, 0, self._flaky_end, action)
+            elif isinstance(action, MigrationStorm):
+                for move in action.moves:
+                    self._at(
+                        action.at, move.home, self._storm_move,
+                        action.at, move,
+                    )
+            elif isinstance(action, Evacuation):
+                self._at(action.drain_at, action.machine, self._drain,
+                         action)
+                self._at(action.kill_at, action.executor, self._kill,
+                         action)
+
+    def _at(
+        self, time: int, machine: MachineId, callback, *args: Any
+    ) -> None:
+        """Schedule *callback* at *time*, anchored to *machine*'s loop."""
+        if self.sharded:
+            self.system.call_at(time, machine, callback, *args)
+        else:
+            self.system.loop.call_at(time, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Ledger
+    # ------------------------------------------------------------------
+
+    def ledger(self) -> list[FaultEvent]:
+        """Every injected fault, sorted canonically.
+
+        The sort makes the ledger independent of same-tick callback
+        interleaving, so it can be compared byte-for-byte across runs
+        and across shard layouts.
+        """
+        return sorted(self.events)
+
+    def _record(self, at: int, kind: str, detail: str) -> None:
+        self.events.append(FaultEvent(at, kind, detail))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self._metrics_for_record().counter(
+            "chaos.faults", kind=kind, scenario=self.scenario.name,
+        ).inc()
+
+    def _metrics_for_record(self):
+        if self.sharded:
+            # Charge shard 0 so merged counters are shard-layout
+            # independent (the ledger, not the charge site, carries
+            # the machine information).
+            return self.system.shards[0].metrics
+        return self.system.metrics
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def _crash(self, action: CrashMachine) -> None:
+        if action.protect:
+            self.recovery.protect_all(action.machine)
+        report = self.recovery.crash(action.machine, action.executor)
+        self.crash_reports.append(report)
+        self._record(
+            action.at, "crash",
+            f"machine {action.machine} -> executor {action.executor}"
+            + ("" if action.protect else " (unprotected)"),
+        )
+
+    def _partition(self, action: Partition) -> None:
+        self.system.network.partition(action.group_a, action.group_b)
+        self._record(
+            action.at, "partition",
+            f"{sorted(action.group_a)} | {sorted(action.group_b)}",
+        )
+
+    def _heal(self, action: Partition) -> None:
+        self.system.network.heal(action.group_a, action.group_b)
+        self._record(
+            action.heal_at, "heal",
+            f"{sorted(action.group_a)} | {sorted(action.group_b)}",
+        )
+
+    def _flaky_start(self, action: FlakyLinks) -> None:
+        network = self.system.network
+        if action.pairs is None:
+            self._flaky_baseline = network._default_faults
+            network.set_faults(action.faults)
+            where = "all wires"
+        else:
+            self._flaky_baseline = network._default_faults
+            for a, b in action.pairs:
+                network.set_faults(action.faults, a, b)
+            where = f"{len(action.pairs)} wire pair(s)"
+        self._record(action.at, "flaky", where)
+
+    def _flaky_end(self, action: FlakyLinks) -> None:
+        network = self.system.network
+        baseline = getattr(self, "_flaky_baseline", None) or FaultPlan()
+        if action.pairs is None:
+            network.set_faults(baseline)
+            where = "all wires"
+        else:
+            for a, b in action.pairs:
+                network.set_faults(baseline, a, b)
+            where = f"{len(action.pairs)} wire pair(s)"
+        self._record(action.until, "flaky-end", where)
+
+    def _storm_move(self, at: int, move) -> None:
+        kernel = self.system.kernel(move.home)
+        started = (
+            move.pid in kernel.processes
+            and not kernel.crashed
+            and kernel.migration.start(move.pid, move.dest)
+        )
+        detail = f"{move.pid} {move.home} -> {move.dest}"
+        if started:
+            self._record(at, "storm-move", detail)
+        else:
+            self._record(at, "storm-skip", detail)
+
+    def _drain(self, action: Evacuation) -> None:
+        """Evacuate: refuse inbound migrations, push residents out."""
+        kernel = self.system.kernel(action.machine)
+        kernel.draining = True
+        moved = 0
+        for index, pid in enumerate(
+            migratable_processes(self.system, action.machine)
+        ):
+            dest = action.dests[index % len(action.dests)]
+            if kernel.migration.start(pid, dest):
+                moved += 1
+        self.counts["drain-migrations"] = (
+            self.counts.get("drain-migrations", 0) + moved
+        )
+        self._record(
+            action.drain_at, "drain",
+            f"machine {action.machine} -> {list(action.dests)}",
+        )
+
+    def _kill(self, action: Evacuation) -> None:
+        # A clean evacuation leaves the machine empty; protect whatever
+        # straggled so the maintenance kill still has no casualties.
+        self.recovery.protect_all(action.machine)
+        report = self.recovery.crash(action.machine, action.executor)
+        self.crash_reports.append(report)
+        self._record(
+            action.kill_at, "maintenance-kill",
+            f"machine {action.machine} -> executor {action.executor}",
+        )

@@ -232,6 +232,10 @@ class Kernel:
         self._cpu_busy = False
         #: set by crash recovery: a crashed kernel does nothing ever again
         self.crashed = False
+        #: maintenance mode: a draining kernel refuses inbound migration
+        #: offers (§3.2 autonomy), so an evacuation cannot race policy
+        #: moves pushing work back onto the machine being emptied
+        self.draining = False
         self._timers: dict[ProcessId, ScheduledEvent] = {}
         #: a _flush_wakeups scheduler grant is already queued this tick;
         #: a burst of N message wakeups costs one dispatch probe, not N

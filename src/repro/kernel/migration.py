@@ -372,6 +372,15 @@ class MigrationEngine:
         source = message.sender.last_known_machine
         total = sum(sizes.values())
 
+        if kernel.draining:
+            # Maintenance mode (evacuation): the machine is being emptied
+            # and must not accept new residents.
+            self._send_admin(
+                None, source, OP_MIGRATE_ACCEPT,
+                {"pid": pid, "ok": False, "reason": "draining"},
+            )
+            kernel.tracer.record("migrate", "refuse-draining", pid=str(pid))
+            return
         predicate = kernel.config.accept_migration
         if predicate is not None and not predicate(pid, total):
             self._send_admin(

@@ -13,7 +13,7 @@ Kernels use exactly two operations:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import SimulationError, UnknownMachineError
 from repro.net.channel import Channel, FaultPlan
@@ -127,6 +127,53 @@ class Network:
             )
         for pair in ((a, b), (b, a)):
             self._channel(*pair).faults = faults
+
+    def cut_pairs(
+        self, group_a: Iterable[MachineId], group_b: Iterable[MachineId]
+    ) -> list[tuple[MachineId, MachineId]]:
+        """The wire pairs whose endpoints straddle the two groups.
+
+        Only physically adjacent pairs count: routing still follows the
+        (unchanged) shortest paths, so faulting exactly these wires is
+        what stops — or degrades — all traffic that must cross the cut.
+        """
+        b_set = set(group_b)
+        return [
+            (a, b)
+            for a in sorted(group_a)
+            for b in self.topology.neighbors(a)
+            if b in b_set
+        ]
+
+    def partition(
+        self,
+        group_a: Iterable[MachineId],
+        group_b: Iterable[MachineId],
+        plan: FaultPlan | None = None,
+    ) -> int:
+        """Sever (or degrade) every wire between the two machine groups.
+
+        With no *plan*, the cut wires drop everything — a clean network
+        partition.  The reliable transport keeps retransmitting across
+        the cut, so traffic resumes exactly-once after :meth:`heal`.
+        Returns the number of wire pairs affected.
+        """
+        plan = plan if plan is not None else FaultPlan(drop_probability=1.0)
+        pairs = self.cut_pairs(group_a, group_b)
+        for a, b in pairs:
+            self.set_faults(plan, a, b)
+        return len(pairs)
+
+    def heal(
+        self,
+        group_a: Iterable[MachineId],
+        group_b: Iterable[MachineId],
+    ) -> int:
+        """Restore the cut wires to the network's default fault plan."""
+        pairs = self.cut_pairs(group_a, group_b)
+        for a, b in pairs:
+            self.set_faults(self._default_faults, a, b)
+        return len(pairs)
 
     def redirect_machine(
         self, dead: MachineId, executor: MachineId

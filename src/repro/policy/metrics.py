@@ -86,6 +86,8 @@ class CommunicationMatrix:
         """Messages exchanged between processes *a* and *b* (both ways)."""
         return self.counts[(a, b)] + self.counts[(b, a)]
 
-    def heaviest_pairs(self, top: int = 5) -> list[tuple[tuple[str, str], int]]:
+    def heaviest_pairs(
+        self, top: int = 5
+    ) -> list[tuple[tuple[str, str], int]]:
         """The busiest (sender, receiver) pairs."""
         return self.counts.most_common(top)

@@ -144,8 +144,17 @@ class CrashRecoveryManager:
                     )
 
         # Recover forwarding addresses: degenerate processes, recovered
-        # like processes (§4).
+        # like processes (§4).  Skip entries the executor can answer
+        # better itself — the process is resident here, or the executor
+        # holds its own (later-on-the-path) pointer; installing the dead
+        # machine's copy would shadow it with a staler or self-pointing
+        # one.
         for entry in dead.forwarding.entries():
+            if (
+                entry.pid in alive.processes
+                or entry.pid in alive.forwarding
+            ):
+                continue
             alive.forwarding.install(
                 entry.pid, entry.machine, system.loop.now,
             )
@@ -172,6 +181,74 @@ class CrashRecoveryManager:
             casualties=len(report.casualties),
         )
         return report
+
+    def audit(self) -> list[str]:
+        """Cross-check recovery bookkeeping against live system state.
+
+        Meant to run at quiescence (the chaos survivor-invariant gate):
+        returns one human-readable problem per inconsistency, empty when
+        recovery left no orphaned state behind.  Checks:
+
+        - crashed kernels hold no process state and no open migration
+          protocol entries;
+        - no process is resident on two machines at once;
+        - every *recovered* process is either alive on exactly one
+          working machine or properly exited (dead-marked) — never
+          silently vanished;
+        - every *casualty* is dead everywhere and dead-marked somewhere
+          (its executor answers for it);
+        - no working kernel still has migration protocol entries open.
+        """
+        system = self.system
+        problems: list[str] = []
+        hosts: dict[ProcessId, list[MachineId]] = {}
+        for kernel in system.kernels:
+            if kernel.crashed:
+                if kernel.processes:
+                    problems.append(
+                        f"crashed machine {kernel.machine} still holds "
+                        f"{len(kernel.processes)} process state(s)"
+                    )
+                continue
+            for pid in kernel.processes:
+                hosts.setdefault(pid, []).append(kernel.machine)
+            open_entries = kernel.migration.in_progress
+            if open_entries:
+                problems.append(
+                    f"machine {kernel.machine} has {open_entries} "
+                    f"migration protocol entr(y/ies) still open"
+                )
+        for pid, machines in sorted(hosts.items(), key=lambda kv: str(kv[0])):
+            if len(machines) > 1:
+                problems.append(
+                    f"{pid} is resident on {len(machines)} machines "
+                    f"at once: {machines}"
+                )
+
+        def dead_marked(pid: ProcessId) -> bool:
+            return any(pid in k.dead for k in system.kernels)
+
+        for report in self.reports:
+            for pid in report.recovered:
+                if pid in hosts or dead_marked(pid):
+                    continue
+                problems.append(
+                    f"recovered {pid} (crash of machine {report.machine}) "
+                    f"is neither alive nor dead-marked — orphaned"
+                )
+            for pid in report.casualties:
+                if pid in hosts:
+                    problems.append(
+                        f"casualty {pid} (crash of machine "
+                        f"{report.machine}) is still alive on "
+                        f"{hosts[pid]}"
+                    )
+                elif not dead_marked(pid):
+                    problems.append(
+                        f"casualty {pid} (crash of machine "
+                        f"{report.machine}) is not dead-marked anywhere"
+                    )
+        return problems
 
     def _recover(self, dead, alive, state: ProcessState) -> None:
         """Reinstate one process on the executor."""

@@ -37,7 +37,9 @@ def serve_reply(
     if not request.delivered_link_ids:
         return  # fire-and-forget request; nothing to answer on
     if isinstance(payload, dict):
-        request_payload = request.payload if isinstance(request.payload, dict) else {}
+        request_payload = (
+            request.payload if isinstance(request.payload, dict) else {}
+        )
         payload = dict(payload)
         payload["req_id"] = request_payload.get("req_id")
     reply_link = request.delivered_link_ids[0]

@@ -143,7 +143,11 @@ def process_manager_program(ctx: ProcessContext) -> Generator[Any, Any, None]:
         elif op in ("migrate", "stop", "start"):
             pid = payload["pid"]
             known = registry.get(pid)
-            ok = known is not None and known.alive and known.control_link is not None
+            ok = (
+                known is not None
+                and known.alive
+                and known.control_link is not None
+            )
             if ok:
                 assert known is not None and known.control_link is not None
                 control_op = {
@@ -198,7 +202,9 @@ def process_manager_program(ctx: ProcessContext) -> Generator[Any, Any, None]:
         elif op == "where-is":
             pid = payload["pid"]
             known = registry.get(pid)
-            machine = known.machine if known is not None and known.alive else None
+            machine = (
+                known.machine if known is not None and known.alive else None
+            )
             reply_machine = payload.get("reply_machine")
             kernel_link = ctx.bootstrap.get(f"kernel:{reply_machine}")
             if kernel_link is not None:

@@ -545,6 +545,17 @@ class ShardedSystem:
         kernel = self.kernel_hosting(pid)
         return kernel.machine if kernel is not None else None
 
+    def is_alive(self, pid: ProcessId) -> bool:
+        """Whether *pid* is still running somewhere (serial executor)."""
+        return self.kernel_hosting(pid) is not None
+
+    def total_forwarding_entries(self) -> int:
+        """Forwarding addresses currently installed system-wide."""
+        return sum(
+            len(kernel.forwarding)
+            for kernel in self.kernels_in_machine_order()
+        )
+
     def events_fired(self) -> int:
         """Events executed across all shards (shard-count independent)."""
         return sum(shard.loop.events_fired for shard in self.shards)

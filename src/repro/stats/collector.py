@@ -74,6 +74,8 @@ class SystemReport:
     network: dict[str, int] = field(default_factory=dict)
     sends_by_category: dict[str, int] = field(default_factory=dict)
     per_machine_load: dict[int, int] = field(default_factory=dict)
+    #: injected chaos faults by kind (empty when no campaign ran)
+    chaos_faults: dict[str, int] = field(default_factory=dict)
     #: end-to-end request latency digest (None without a closed-loop run)
     request_latency: dict[str, Any] | None = None
 
@@ -96,6 +98,12 @@ class SystemReport:
             f"link updates applied: {self.link_updates_applied} "
             f"({self.links_retargeted} links retargeted)",
         ]
+        if self.chaos_faults:
+            injected = ", ".join(
+                f"{count} {kind}"
+                for kind, count in sorted(self.chaos_faults.items())
+            )
+            out.append(f"chaos faults injected: {injected}")
         if self.request_latency is not None:
             digest = self.request_latency
             out.append(
@@ -132,6 +140,7 @@ class SystemReport:
                 str(machine): load
                 for machine, load in self.per_machine_load.items()
             },
+            "chaos_faults": dict(self.chaos_faults),
             "request_latency": (
                 dict(self.request_latency)
                 if self.request_latency is not None
@@ -181,6 +190,12 @@ def report_from_snapshot(
             machine: int(load)
             for machine, load in snapshot.by_label(
                 "kernel.run_queue", "machine"
+            ).items()
+        },
+        chaos_faults={
+            kind: int(count)
+            for kind, count in snapshot.by_label(
+                "chaos.faults", "kind"
             ).items()
         },
         request_latency=_latency_summary(snapshot),

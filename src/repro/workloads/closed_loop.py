@@ -103,9 +103,14 @@ class ClientPool:
         #: requests completed so far, indexed by client
         self.request_counts: list[int] = [0] * self.config.clients
         self.spawned: list[ProcessId] = []
+        #: replies whose echoed payload did not match the request that
+        #: was awaiting one — a duplicate, reordered, or cross-wired
+        #: reply.  The chaos exactly-once invariant gates this at zero.
+        self.mismatches = 0
         self._latency = system.metrics.latency_histogram(self.config.metric)
         self._completed = system.metrics.counter("workload.requests_completed")
         self._forwarded = system.metrics.counter("workload.replies_forwarded")
+        self._mismatched = system.metrics.counter("workload.reply_mismatches")
         self._think_times: list[list[int]] = []
 
     # ------------------------------------------------------------------
@@ -154,14 +159,20 @@ class ClientPool:
         server_machines: list[int] = []
         for round_no in range(cfg.requests_per_client):
             sent_at = ctx.now
+            request = {"round": round_no, "client": index}
             reply = yield from rpc(
                 ctx,
                 service,
                 "echo",
-                {"round": round_no, "client": index},
+                request,
                 payload_bytes=cfg.payload_bytes,
             )
             assert reply is not None
+            if reply.payload.get("echo") != request:
+                # The reply answering this request is not an echo of it:
+                # exactly-once delivery was violated somewhere.
+                self.mismatches += 1
+                self._mismatched.inc()
             self._latency.observe(ctx.now - sent_at)
             self._completed.inc()
             if reply.payload.get("forwarded"):

@@ -1,0 +1,155 @@
+"""Scenario validation and the static fault schedule."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosScenario,
+    CrashMachine,
+    Evacuation,
+    FlakyLinks,
+    MigrationStorm,
+    Move,
+    Partition,
+)
+from repro.errors import ConfigError
+from repro.kernel.ids import ProcessId
+
+PID = ProcessId(creating_machine=2, local_id=1)
+
+
+def scenario(*actions, name="test"):
+    return ChaosScenario(name, tuple(actions))
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self):
+        scenario(
+            MigrationStorm(at=10, moves=(Move(PID, 2, 3),)),
+            CrashMachine(at=50, machine=3, executor=4),
+            Partition(at=20, heal_at=60, group_a=(0, 1), group_b=(2, 3)),
+            FlakyLinks(at=70, until=90),
+            Evacuation(drain_at=100, machine=5, kill_at=200, executor=6,
+                       dests=(6, 7)),
+        ).validate(machines=8)
+
+    def test_crash_machine_out_of_range(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            scenario(
+                CrashMachine(at=1, machine=9, executor=0)
+            ).validate(machines=4)
+
+    def test_machine_cannot_execute_its_own_crash(self):
+        with pytest.raises(ConfigError, match="own crash executor"):
+            scenario(
+                CrashMachine(at=1, machine=2, executor=2)
+            ).validate(machines=4)
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(ConfigError, match="crashed twice"):
+            scenario(
+                CrashMachine(at=1, machine=2, executor=0),
+                CrashMachine(at=9, machine=2, executor=3),
+            ).validate(machines=4)
+
+    def test_evacuated_machine_cannot_also_crash(self):
+        with pytest.raises(ConfigError, match="crashed twice"):
+            scenario(
+                CrashMachine(at=1, machine=2, executor=0),
+                Evacuation(drain_at=5, machine=2, kill_at=9, executor=3,
+                           dests=(3,)),
+            ).validate(machines=4)
+
+    def test_dead_executor_rejected(self):
+        with pytest.raises(ConfigError, match="already dead"):
+            scenario(
+                CrashMachine(at=1, machine=2, executor=0),
+                CrashMachine(at=9, machine=3, executor=2),
+            ).validate(machines=4)
+
+    def test_executor_dying_later_is_fine(self):
+        scenario(
+            CrashMachine(at=1, machine=2, executor=3),
+            CrashMachine(at=9, machine=3, executor=0),
+        ).validate(machines=4)
+
+    def test_partition_needs_disjoint_groups(self):
+        with pytest.raises(ConfigError, match="overlap"):
+            scenario(
+                Partition(at=1, heal_at=9, group_a=(0, 1), group_b=(1, 2))
+            ).validate(machines=4)
+
+    def test_partition_window_must_be_positive(self):
+        with pytest.raises(ConfigError, match="empty or negative"):
+            scenario(
+                Partition(at=9, heal_at=9, group_a=(0,), group_b=(1,))
+            ).validate(machines=4)
+
+    def test_flaky_pair_range_checked(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            scenario(
+                FlakyLinks(at=1, until=9, pairs=((0, 7),))
+            ).validate(machines=4)
+
+    def test_storm_needs_moves(self):
+        with pytest.raises(ConfigError, match="at least one move"):
+            scenario(MigrationStorm(at=1, moves=())).validate(machines=4)
+
+    def test_move_to_self_rejected(self):
+        with pytest.raises(ConfigError, match="goes nowhere"):
+            scenario(
+                MigrationStorm(at=1, moves=(Move(PID, 2, 2),))
+            ).validate(machines=4)
+
+    def test_evacuation_dest_cannot_be_the_drained_machine(self):
+        with pytest.raises(ConfigError, match="being drained"):
+            scenario(
+                Evacuation(drain_at=1, machine=2, kill_at=9, executor=3,
+                           dests=(2,))
+            ).validate(machines=4)
+
+
+class TestShardSafety:
+    def test_storm_only_scenario_is_shard_safe(self):
+        assert scenario(
+            MigrationStorm(at=1, moves=(Move(PID, 2, 3),))
+        ).shard_safe
+
+    def test_crash_is_not_shard_safe(self):
+        assert not scenario(
+            MigrationStorm(at=1, moves=(Move(PID, 2, 3),)),
+            CrashMachine(at=5, machine=3, executor=0),
+        ).shard_safe
+
+
+class TestFaultSchedule:
+    def test_schedule_is_static_and_sorted(self):
+        s = scenario(
+            CrashMachine(at=50, machine=3, executor=4),
+            Partition(at=20, heal_at=60, group_a=(1, 0), group_b=(2, 3)),
+            MigrationStorm(at=10, moves=(Move(PID, 2, 3),)),
+        )
+        schedule = s.fault_schedule()
+        assert schedule == sorted(schedule)
+        assert [entry[:2] for entry in schedule] == [
+            (10, "storm-move"),
+            (20, "partition"),
+            (50, "crash"),
+            (60, "heal"),
+        ]
+        # Pure function of the scenario: identical every call.
+        assert s.fault_schedule() == schedule
+
+    def test_evacuation_contributes_drain_and_kill(self):
+        s = scenario(
+            Evacuation(drain_at=5, machine=2, kill_at=9, executor=3,
+                       dests=(3, 0)),
+        )
+        assert [entry[1] for entry in s.fault_schedule()] == [
+            "drain", "maintenance-kill",
+        ]
+
+    def test_unprotected_crash_marked(self):
+        s = scenario(
+            CrashMachine(at=1, machine=2, executor=3, protect=False)
+        )
+        assert "(unprotected)" in s.fault_schedule()[0][2]
