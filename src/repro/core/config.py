@@ -69,7 +69,9 @@ class SystemConfig:
     def validate(self) -> None:
         """Raise :class:`ConfigError` on inconsistent settings."""
         if self.machines < 1:
-            raise ConfigError(f"need at least one machine, got {self.machines}")
+            raise ConfigError(
+                f"need at least one machine, got {self.machines}"
+            )
         if self.topology not in TOPOLOGY_SHAPES:
             raise ConfigError(
                 f"unknown topology {self.topology!r}; "
@@ -103,7 +105,10 @@ class SystemConfig:
             raise ConfigError("max_data_packet must be positive")
         if not 0 <= self.control_machine < self.machines:
             raise ConfigError("control_machine out of range")
-        if self.boot_servers and not 0 <= self.file_system_machine < self.machines:
+        if (
+            self.boot_servers
+            and not 0 <= self.file_system_machine < self.machines
+        ):
             raise ConfigError("file_system_machine out of range")
         if (
             self.undeliverable_policy is UndeliverablePolicy.RETURN_TO_SENDER

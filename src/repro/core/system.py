@@ -232,6 +232,17 @@ class System:
         except IndexError:
             raise ConfigError(f"no machine {machine}") from None
 
+    def domain_view(self, machines: list[MachineId]) -> "SystemDomainView":
+        """A window onto a subset of machines, for per-domain policies.
+
+        Shaped like :class:`repro.sim.shard.DomainView`, so a
+        :class:`~repro.policy.load_balancer.DomainLoadBalancer` runs
+        unchanged against a single-loop system — same decisions, same
+        traces — which is how benchmarks compare policies without
+        paying for sharded execution.
+        """
+        return SystemDomainView(self, machines)
+
     def spawn(
         self,
         program: Program,
@@ -270,7 +281,9 @@ class System:
         ticket.initiated = kernel.migration.start(pid, dest, on_done=_done)
         return ticket
 
-    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+    def run(
+        self, until: int | None = None, max_events: int | None = None
+    ) -> int:
         """Run the simulation; with *until*, stop the clock there."""
         if until is None:
             return self.loop.run(max_events=max_events)
@@ -325,3 +338,27 @@ class System:
             f"System(machines={self.config.machines},"
             f" now={self.loop.now}us, events={self.loop.events_fired})"
         )
+
+
+class SystemDomainView:
+    """A domain-scoped window onto a single-loop :class:`System`.
+
+    Duck-types :class:`repro.sim.shard.DomainView` (``loop``, ``tracer``,
+    ``metrics``, ``kernels``, ``kernel()``), so per-domain policies see
+    the same interface whether the system runs sharded or not.
+    """
+
+    def __init__(self, system: System, machines: list[MachineId]) -> None:
+        self.loop = system.loop
+        self.tracer = system.tracer
+        self.metrics = system.metrics
+        self.kernels = [system.kernel(m) for m in machines]
+        self._by_machine = {k.machine: k for k in self.kernels}
+
+    def kernel(self, machine: MachineId) -> Kernel:
+        try:
+            return self._by_machine[machine]
+        except KeyError:
+            raise ConfigError(
+                f"machine {machine} is outside this domain"
+            ) from None

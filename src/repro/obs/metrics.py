@@ -155,6 +155,39 @@ class HistogramSnapshot:
     def p99(self) -> float | None:
         return self.percentile(0.99)
 
+    def delta_since(
+        self, previous: "HistogramSnapshot"
+    ) -> "HistogramSnapshot":
+        """The distribution observed *between* two snapshots of one
+        histogram.
+
+        Cumulative bucket counts subtract bucket-wise (the difference of
+        two cumulative vectors is itself cumulative), so percentiles of
+        the returned window are exact over the interval's observations.
+        ``min``/``max`` cannot be recovered per-window and keep the
+        lifetime envelope — the percentile clamp only loosens, never
+        lies.  This is how an SLO balancer reads "p99 over the last
+        sampling interval" off a histogram that must stay cumulative for
+        everyone else.
+        """
+        if previous.bucket_bounds != self.bucket_bounds:
+            raise ValueError("cannot diff histograms with different buckets")
+        if previous.count > self.count:
+            raise ValueError("delta_since needs an older snapshot")
+        return HistogramSnapshot(
+            count=self.count - previous.count,
+            sum=self.sum - previous.sum,
+            min=self.min,
+            max=self.max,
+            bucket_bounds=self.bucket_bounds,
+            bucket_counts=tuple(
+                now - then
+                for now, then in zip(
+                    self.bucket_counts, previous.bucket_counts
+                )
+            ),
+        )
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -320,6 +353,22 @@ class MetricsSnapshot:
 
     def histogram(self, name: str, **labels: Any) -> HistogramSnapshot | None:
         return self.histograms.get(name, {}).get(_labelset(labels))
+
+    def histogram_by_label(
+        self, name: str, key: str
+    ) -> dict[Any, HistogramSnapshot]:
+        """All of *name*'s series keyed by one label, e.g. per ``domain``.
+
+        Series carrying the label more than once cannot occur (labels
+        are a mapping); series without the label are skipped, so the
+        global (unlabelled) histogram never shadows a domain's.
+        """
+        out: dict[Any, HistogramSnapshot] = {}
+        for labels, snapshot in self.histograms.get(name, {}).items():
+            for k, v in labels:
+                if k == key:
+                    out[v] = snapshot
+        return out
 
     # -- export ---------------------------------------------------------
 

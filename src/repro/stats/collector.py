@@ -35,12 +35,7 @@ _NETWORK_SCALARS = (
 _REQUEST_LATENCY = "workload.request_latency_us"
 
 
-def _latency_summary(snapshot: MetricsSnapshot) -> dict[str, Any] | None:
-    """p50/p95/p99/max request-latency digest, or None when no
-    closed-loop workload ran."""
-    histogram = snapshot.histogram(_REQUEST_LATENCY)
-    if histogram is None or not histogram.count:
-        return None
+def _digest(histogram) -> dict[str, Any]:
     return {
         "count": histogram.count,
         "mean_us": histogram.mean,
@@ -48,6 +43,33 @@ def _latency_summary(snapshot: MetricsSnapshot) -> dict[str, Any] | None:
         "p95_us": histogram.p95,
         "p99_us": histogram.p99,
         "max_us": histogram.max,
+    }
+
+
+def _latency_summary(snapshot: MetricsSnapshot) -> dict[str, Any] | None:
+    """p50/p95/p99/max request-latency digest, or None when no
+    request-scale workload ran."""
+    histogram = snapshot.histogram(_REQUEST_LATENCY)
+    if histogram is None or not histogram.count:
+        return None
+    return _digest(histogram)
+
+
+def _latency_by_domain(snapshot: MetricsSnapshot) -> dict[str, Any]:
+    """Per-domain request-latency digests (empty without domain labels).
+
+    The open-loop client pool publishes each service's latencies into a
+    ``domain=<label>`` series alongside the global histogram; these are
+    the digests an SLO balancer acts on, surfaced so reports show *which*
+    neighbourhood's tail breached.
+    """
+    return {
+        str(domain): _digest(histogram)
+        for domain, histogram in sorted(
+            snapshot.histogram_by_label(_REQUEST_LATENCY, "domain").items(),
+            key=lambda item: str(item[0]),
+        )
+        if histogram.count
     }
 
 
@@ -78,6 +100,8 @@ class SystemReport:
     chaos_faults: dict[str, int] = field(default_factory=dict)
     #: end-to-end request latency digest (None without a closed-loop run)
     request_latency: dict[str, Any] | None = None
+    #: per-domain latency digests (empty unless the pool labels domains)
+    request_latency_by_domain: dict[str, Any] = field(default_factory=dict)
 
     def lines(self) -> list[str]:
         """Human-readable rendering, one fact per line."""
@@ -113,6 +137,12 @@ class SystemReport:
                 f"max {digest['max_us']:.0f}us "
                 f"({digest['count']} requests)"
             )
+        for domain, digest in self.request_latency_by_domain.items():
+            out.append(
+                f"  domain {domain}: p50 {digest['p50_us']:.0f}us, "
+                f"p99 {digest['p99_us']:.0f}us "
+                f"({digest['count']} requests)"
+            )
         return out
 
     def to_dict(self) -> dict[str, Any]:
@@ -146,6 +176,10 @@ class SystemReport:
                 if self.request_latency is not None
                 else None
             ),
+            "request_latency_by_domain": {
+                domain: dict(digest)
+                for domain, digest in self.request_latency_by_domain.items()
+            },
         }
 
 
@@ -199,6 +233,7 @@ def report_from_snapshot(
             ).items()
         },
         request_latency=_latency_summary(snapshot),
+        request_latency_by_domain=_latency_by_domain(snapshot),
     )
 
 

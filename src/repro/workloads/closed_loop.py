@@ -1,34 +1,47 @@
-"""Closed-loop request/reply clients: the *user's* view of migration.
+"""Request/reply client pools: the *user's* view of migration.
 
-The open-loop generators in :mod:`repro.workloads.generators` keep
-offering work no matter how slowly the system answers, so migration and
-forwarding costs only ever surface as counter totals.  A closed-loop
-pool models N simulated users instead: each sends one request over a
-link, waits for the reply, thinks for a sampled delay, and only then
-sends the next.  A server that migrates mid-conversation — or answers
-through a forwarding chain — therefore stretches the *observed response
-time* of exactly the requests it delayed, and the paper's §6 per-event
-cost analysis becomes a request-latency distribution, the metric
-interactive services are actually judged on (means hide the damage;
-percentiles don't).
+Two traffic models share one :class:`ClientPool`:
+
+- **closed loop** (:class:`ClosedLoopConfig`) — N simulated users, each
+  sending one request, waiting for the reply, thinking for a sampled
+  delay, then sending the next.  Offered load adapts to how fast the
+  system answers, so the request count is exactly the configured quota.
+- **open loop** (:class:`OpenLoopConfig`) — every client sends on a
+  pre-drawn Poisson schedule *whether or not earlier replies have
+  arrived*.  Slow service no longer throttles the arrival rate (the
+  coordinated-omission trap of closed loops), so queues genuinely build
+  when demand exceeds capacity — which is what an SLO-driven migration
+  policy needs to see.  A :class:`LoadShape` modulates the arrival rate
+  over time (steady, burst, diurnal ramp) and can skew demand onto a
+  few hot services (hot-key).
+
+A server that migrates mid-conversation — or answers through a
+forwarding chain — stretches the *observed response time* of exactly
+the requests it delayed, and the paper's §6 per-event cost analysis
+becomes a request-latency distribution, the metric interactive services
+are actually judged on (means hide the damage; percentiles don't).
 
 Latencies land in a :class:`~repro.obs.metrics.LatencyHistogram` in the
 system's metrics registry, so ``report --json``, the metrics exporters
 and the benchmark artifacts all see p50/p95/p99 without extra plumbing.
+Open-loop pools can additionally partition latencies into per-domain
+histograms (``domain=<label>``) whose bitwise merge equals the global
+digest — the per-domain series an SLO balancer consumes.
 
-Determinism: think times are pre-drawn from one named random stream at
-install time, in client-index order, so the same seed and config yield
-the same per-request think times regardless of how the event loop
-interleaves the clients at run time.
+Determinism: think times and arrival schedules are pre-drawn from one
+named random stream at install time, in client-index order, so the same
+seed and config yield the same per-request timing regardless of how the
+event loop interleaves the clients at run time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Generator, Sequence
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Mapping, Sequence
 
 from repro.kernel.context import ProcessContext
-from repro.kernel.ids import ProcessId
+from repro.kernel.ids import ProcessAddress, ProcessId
 from repro.servers.common import lookup_service, rpc
 from repro.workloads.results import ResultsBoard
 
@@ -37,6 +50,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: registry name for the pool's end-to-end request latency histogram
 REQUEST_LATENCY_METRIC = "workload.request_latency_us"
+
+#: rate profiles :class:`LoadShape` understands
+LOAD_SHAPE_KINDS = ("steady", "burst", "diurnal", "hot_key")
 
 
 @dataclass(frozen=True)
@@ -67,27 +83,180 @@ class ClosedLoopConfig:
             raise ValueError("times must be non-negative")
 
 
-class ClientPool:
-    """N simulated users driving request/reply services in closed loop.
+@dataclass(frozen=True)
+class LoadShape:
+    """Time-varying arrival-rate profile plus per-service demand skew.
 
-    Each client resolves one service name through the switchboard (the
-    names cycle over *services*, so a pool can spread load across many
-    servers), then alternates request -> reply -> think until it has
-    completed its quota.  Per-request latencies are observed into the
-    registry's latency histogram; per-client completions are kept in
-    :attr:`request_counts` so tests can pin the exact request-count
-    vector.
+    ``kind`` selects the rate profile: ``steady`` (flat), ``burst``
+    (``burst_factor``x inside ``[burst_start, burst_end)``, relative to
+    the pool's ``start_at``), ``diurnal`` (linear ramp from 1x to
+    ``ramp_factor``x over the arrival window), ``hot_key`` (flat rate,
+    but demand skew required).  The skew fields apply under *any* kind —
+    a burst can be aimed at hot services — and default to uniform.
+    """
+
+    kind: str = "steady"
+    #: burst window, microseconds relative to the pool's ``start_at``
+    burst_start: int = 0
+    burst_end: int = 0
+    burst_factor: float = 4.0
+    #: diurnal: rate multiplier reached at the end of the window
+    ramp_factor: float = 2.0
+    #: the first *hot_services* service names absorb *hot_share* of the
+    #: clients between them (0 = uniform demand across all services)
+    hot_services: int = 1
+    hot_share: float = 0.0
+
+    def validate(self) -> None:
+        if self.kind not in LOAD_SHAPE_KINDS:
+            raise ValueError(
+                f"unknown load shape {self.kind!r}; "
+                f"choose from {LOAD_SHAPE_KINDS}"
+            )
+        if not 0.0 <= self.hot_share <= 1.0:
+            raise ValueError("hot_share must be within [0, 1]")
+        if self.hot_services < 1:
+            raise ValueError("hot_services must be positive")
+        if self.kind == "burst":
+            if self.burst_end <= self.burst_start or self.burst_start < 0:
+                raise ValueError("burst window must be non-empty")
+            if self.burst_factor <= 0:
+                raise ValueError("burst_factor must be positive")
+        if self.kind == "diurnal" and self.ramp_factor <= 0:
+            raise ValueError("ramp_factor must be positive")
+        if self.kind == "hot_key" and self.hot_share == 0.0:
+            raise ValueError("hot_key shape needs hot_share > 0")
+
+    def rate_factor(self, elapsed: int, duration: int) -> float:
+        """Arrival-rate multiplier at *elapsed* us into the window."""
+        if self.kind == "burst":
+            if self.burst_start <= elapsed < self.burst_end:
+                return self.burst_factor
+            return 1.0
+        if self.kind == "diurnal" and duration > 0:
+            return 1.0 + (self.ramp_factor - 1.0) * min(
+                1.0, elapsed / duration
+            )
+        return 1.0
+
+    def service_weights(self, services: int) -> list[float]:
+        """Per-service probability of absorbing one client."""
+        hot = min(self.hot_services, services)
+        if self.hot_share == 0.0 or hot == services:
+            return [1.0 / services] * services
+        cold = services - hot
+        return [self.hot_share / hot] * hot + [
+            (1.0 - self.hot_share) / cold
+        ] * cold
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """Shape of one open-loop (Poisson-arrival) client pool."""
+
+    clients: int = 100
+    #: mean gap between one client's requests at rate factor 1.0
+    mean_interarrival_us: int = 100_000
+    #: length of the arrival window, from ``start_at``
+    duration: int = 1_000_000
+    #: per-request SLO window: a reply later than this is *late*, never
+    #: in-SLO, however long the client keeps listening for it
+    deadline_us: int = 50_000
+    #: how long a client waits for stragglers after its last send
+    drain_grace_us: int = 300_000
+    shape: LoadShape = field(default_factory=LoadShape)
+    payload_bytes: int = 32
+    #: simulated time of the first possible arrival
+    start_at: int = 1_000
+    #: spawn spacing between successive clients
+    stagger_us: int = 0
+    #: named random stream schedules and skew draws come from
+    stream: str = "open-loop"
+    metric: str = REQUEST_LATENCY_METRIC
+
+    def validate(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"need at least one client, got {self.clients}")
+        if self.mean_interarrival_us < 1:
+            raise ValueError("mean_interarrival_us must be positive")
+        if self.duration < 1:
+            raise ValueError("duration must be positive")
+        if self.deadline_us < 1:
+            raise ValueError("deadline_us must be positive")
+        if min(self.drain_grace_us, self.start_at, self.stagger_us) < 0:
+            raise ValueError("times must be non-negative")
+        self.shape.validate()
+
+
+def open_loop_schedules(
+    config: OpenLoopConfig, rng: random.Random
+) -> list[list[int]]:
+    """Pre-draw every client's absolute send times, in client order.
+
+    A pure function of (config, rng state): the same seeded stream
+    always yields the same schedule, which is what makes open-loop runs
+    reproducible.  Rate modulation uses the piecewise-exponential
+    approximation — each gap is drawn at the rate in force when it
+    starts — which is deterministic and close enough for load shaping.
+    """
+    shape = config.shape
+    end = config.start_at + config.duration
+    schedules: list[list[int]] = []
+    for _ in range(config.clients):
+        at = float(config.start_at)
+        times: list[int] = []
+        while True:
+            factor = shape.rate_factor(
+                int(at) - config.start_at, config.duration
+            )
+            at += rng.expovariate(factor / config.mean_interarrival_us)
+            if at >= end:
+                break
+            times.append(int(at))
+        schedules.append(times)
+    return schedules
+
+
+class ClientPool:
+    """N simulated users driving request/reply services.
+
+    With a :class:`ClosedLoopConfig`, each client resolves one service
+    name through the switchboard (the names cycle over *services*, so a
+    pool can spread load across many servers), then alternates
+    request -> reply -> think until it has completed its quota.  With an
+    :class:`OpenLoopConfig`, each client instead fires requests on its
+    pre-drawn Poisson schedule, matching replies back to requests by id
+    as they arrive — so a slow server accumulates outstanding requests
+    rather than slowing the offered load.
+
+    Per-request latencies are observed into the registry's latency
+    histogram; per-client request counts are kept in
+    :attr:`request_counts` so tests can pin the exact vector.  Open-loop
+    extras:
+
+    - *domains* maps a service name to a domain label; each reply is
+      then also observed into ``metric{domain=<label>}``, the per-domain
+      digests an SLO balancer consumes (their bitwise merge equals the
+      global histogram);
+    - *addresses* maps service names to :class:`ProcessAddress`, letting
+      tens of thousands of clients skip the switchboard stampede;
+    - *spotlight* ``(label, start, end)`` additionally records requests
+      *sent* inside ``[start, end)`` into ``metric{window=<label>}`` —
+      how the e13 benchmark isolates the burst window's percentiles.
     """
 
     def __init__(
         self,
         system: "System",
-        config: ClosedLoopConfig | None = None,
+        config: ClosedLoopConfig | OpenLoopConfig | None = None,
         *,
         services: Sequence[str] = ("echo",),
         machines: Sequence[int] | None = None,
         board: ResultsBoard | None = None,
         key: str = "closed-loop",
+        domains: Mapping[str, str] | None = None,
+        addresses: Mapping[str, ProcessAddress] | None = None,
+        spotlight: tuple[str, int, int] | None = None,
     ) -> None:
         if not services:
             raise ValueError("need at least one service name")
@@ -100,51 +269,122 @@ class ClientPool:
         )
         self.board = board if board is not None else ResultsBoard()
         self.key = key
-        #: requests completed so far, indexed by client
+        self.domains = dict(domains) if domains else {}
+        self.addresses = dict(addresses) if addresses else None
+        self.spotlight = spotlight
+        #: requests completed (closed loop) / sent (open loop), by client
         self.request_counts: list[int] = [0] * self.config.clients
         self.spawned: list[ProcessId] = []
         #: replies whose echoed payload did not match the request that
         #: was awaiting one — a duplicate, reordered, or cross-wired
         #: reply.  The chaos exactly-once invariant gates this at zero.
         self.mismatches = 0
-        self._latency = system.metrics.latency_histogram(self.config.metric)
-        self._completed = system.metrics.counter("workload.requests_completed")
-        self._forwarded = system.metrics.counter("workload.replies_forwarded")
-        self._mismatched = system.metrics.counter("workload.reply_mismatches")
+        #: open-loop reply outcomes against the per-request deadline
+        self.in_slo = 0
+        self.late = 0
+        #: open-loop requests still unanswered when their client gave up
+        self.unanswered = 0
+        self.finished_clients = 0
+        metrics = system.metrics
+        self._latency = metrics.latency_histogram(self.config.metric)
+        self._completed = metrics.counter("workload.requests_completed")
+        self._forwarded = metrics.counter("workload.replies_forwarded")
+        self._mismatched = metrics.counter("workload.reply_mismatches")
+        self._sent = metrics.counter("workload.requests_sent")
+        self._slo_ok = metrics.counter("workload.replies_in_slo")
+        self._slo_late = metrics.counter("workload.replies_late")
+        self._domain_latency = {
+            domain: metrics.latency_histogram(
+                self.config.metric, domain=domain
+            )
+            for domain in sorted(set(self.domains.values()))
+        }
+        self._spot_latency = (
+            metrics.latency_histogram(
+                self.config.metric, window=spotlight[0]
+            )
+            if spotlight is not None
+            else None
+        )
         self._think_times: list[list[int]] = []
+        self._schedules: list[list[int]] = []
+
+    @property
+    def open_loop(self) -> bool:
+        """Whether this pool runs the open-loop arrival mode."""
+        return isinstance(self.config, OpenLoopConfig)
 
     # ------------------------------------------------------------------
 
     def install(self) -> None:
-        """Pre-draw every think time, then schedule the client spawns."""
+        """Pre-draw every think time / arrival, then schedule spawns."""
         cfg = self.config
         rng = self.system.rngs.stream(cfg.stream)
-        mean = cfg.mean_think_us
-        self._think_times = [
-            [
-                int(rng.expovariate(1.0 / mean)) if mean else 0
-                for _ in range(cfg.requests_per_client)
+        if self.open_loop:
+            # Draw order matters for determinism: schedules first (in
+            # client order), then the per-client service skew draws.
+            self._schedules = open_loop_schedules(cfg, rng)
+            assignments = self._assign_services(rng)
+        else:
+            mean = cfg.mean_think_us
+            self._think_times = [
+                [
+                    int(rng.expovariate(1.0 / mean)) if mean else 0
+                    for _ in range(cfg.requests_per_client)
+                ]
+                for _ in range(cfg.clients)
             ]
-            for _ in range(cfg.clients)
-        ]
+            assignments = [
+                self.services[index % len(self.services)]
+                for index in range(cfg.clients)
+            ]
+        start = 0 if self.open_loop else cfg.start_at
         for index in range(cfg.clients):
             machine = self.machines[index % len(self.machines)]
-            service = self.services[index % len(self.services)]
-            at = cfg.start_at + index * cfg.stagger_us
+            service = assignments[index]
+            at = start + index * cfg.stagger_us
             self.system.loop.call_at(
                 at,
-                lambda _i=index, _m=machine, _s=service: self.spawned.append(
-                    self.system.spawn(
-                        lambda ctx: self._client(ctx, _i, _s),
-                        machine=_m,
-                        name=f"{self.key}-{_i}",
-                    )
+                lambda _i=index, _m=machine, _s=service: self._spawn_client(
+                    _i, _m, _s
                 ),
             )
 
+    def _assign_services(self, rng: random.Random) -> list[str]:
+        """One service per client: round-robin when demand is uniform,
+        weighted draws when the shape skews it onto hot services."""
+        cfg = self.config
+        weights = cfg.shape.service_weights(len(self.services))
+        if len(set(weights)) == 1:
+            return [
+                self.services[index % len(self.services)]
+                for index in range(cfg.clients)
+            ]
+        return rng.choices(self.services, weights=weights, k=cfg.clients)
+
+    def _spawn_client(self, index: int, machine: int, service: str) -> None:
+        program = (
+            (lambda ctx: self._open_client(ctx, index, service))
+            if self.open_loop
+            else (lambda ctx: self._client(ctx, index, service))
+        )
+        kernel = self.system.kernel(machine)
+        extra_links = None
+        if self.addresses is not None:
+            extra_links = {"service": self.addresses[service]}
+        self.spawned.append(
+            kernel.spawn(
+                program,
+                name=f"{self.key}-{index}",
+                extra_links=extra_links,
+            )
+        )
+
     @property
     def done(self) -> bool:
-        """Whether every client has completed its request quota."""
+        """Whether every client has finished its conversation."""
+        if self.open_loop:
+            return self.finished_clients == self.config.clients
         quota = self.config.requests_per_client
         return all(count == quota for count in self.request_counts)
 
@@ -193,4 +433,114 @@ class ClientPool:
                 "server_machines": server_machines,
             },
         )
+        self.finished_clients += 1
         yield ctx.exit()
+
+    # ------------------------------------------------------------------
+    # Open-loop mode
+    # ------------------------------------------------------------------
+
+    def _open_client(
+        self, ctx: ProcessContext, index: int, service_name: str
+    ) -> Generator[Any, Any, None]:
+        """Fire requests on the pre-drawn schedule; match replies by id.
+
+        Sends never wait for outstanding replies — that is the open-loop
+        contract.  Replies are drained between sends (and for a grace
+        period after the last one) and matched back to their request by
+        the echoed ``req`` id; each reply's latency goes to the global,
+        per-domain and spotlight histograms, and is judged against the
+        per-request deadline: a reply arriving after its window is
+        counted *late*, never in-SLO.
+        """
+        cfg = self.config
+        if self.addresses is not None:
+            service = ctx.bootstrap["service"]
+        else:
+            service = yield from lookup_service(ctx, service_name)
+        domain = self.domains.get(service_name)
+        schedule = self._schedules[index]
+        #: req id -> (sent_at, reply link id)
+        pending: dict[int, tuple[int, int]] = {}
+        next_req = 0
+        replies = 0
+        while next_req < len(schedule) or pending:
+            if next_req < len(schedule):
+                due = schedule[next_req]
+                if ctx.now >= due:
+                    reply_link = yield ctx.create_link()
+                    yield ctx.send(
+                        service,
+                        op="echo",
+                        payload={"client": index, "req": next_req},
+                        payload_bytes=cfg.payload_bytes,
+                        links=(reply_link,),
+                    )
+                    pending[next_req] = (ctx.now, reply_link)
+                    self.request_counts[index] += 1
+                    self._sent.inc()
+                    next_req += 1
+                    continue
+                message = yield ctx.receive(timeout=due - ctx.now)
+            else:
+                message = yield ctx.receive(timeout=cfg.drain_grace_us)
+                if message is None:
+                    break  # stragglers beyond the grace window are lost
+            if message is None:
+                continue  # timeout: the next scheduled send is due
+            replies += 1
+            yield from self._absorb_reply(ctx, index, domain, message, pending)
+        self.unanswered += len(pending)
+        self.board.post(
+            self.key,
+            {
+                "client": index,
+                "service": service_name,
+                "sent": self.request_counts[index],
+                "replies": replies,
+                "unanswered": len(pending),
+            },
+        )
+        self.finished_clients += 1
+        yield ctx.exit()
+
+    def _absorb_reply(
+        self,
+        ctx: ProcessContext,
+        index: int,
+        domain: str | None,
+        message: Any,
+        pending: dict[int, tuple[int, int]],
+    ) -> Generator[Any, Any, None]:
+        """Record one reply: latency, SLO verdict, bookkeeping."""
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        echo = payload.get("echo")
+        req = echo.get("req") if isinstance(echo, dict) else None
+        entry = pending.pop(req, None) if req is not None else None
+        if entry is None or (echo or {}).get("client") != index:
+            # Not an echo of anything this client is waiting for:
+            # exactly-once delivery was violated somewhere.
+            self.mismatches += 1
+            self._mismatched.inc()
+            return
+        sent_at, reply_link = entry
+        latency = ctx.now - sent_at
+        self._latency.observe(latency)
+        if domain is not None:
+            self._domain_latency[domain].observe(latency)
+        if self.spotlight is not None:
+            _, spot_start, spot_end = self.spotlight
+            if spot_start <= sent_at < spot_end:
+                self._spot_latency.observe(latency)
+        self._completed.inc()
+        if payload.get("forwarded"):
+            self._forwarded.inc()
+        # The deadline verdict: replies beyond the window are late, so
+        # in_slo counts only requests the user would call answered.
+        if latency <= self.config.deadline_us:
+            self.in_slo += 1
+            self._slo_ok.inc()
+        else:
+            self.late += 1
+            self._slo_late.inc()
+        yield ctx.destroy_link(reply_link)

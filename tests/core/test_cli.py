@@ -97,6 +97,37 @@ class TestReportJson:
         assert downtime["min"] > 0
 
 
+class TestSloCommand:
+    def test_prints_one_line_per_policy(self, capsys):
+        assert main(["slo", "--clients", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 SLO 10000us" in out
+        assert "queue-depth" in out
+        assert "latency-aware" in out
+
+    def test_json_shows_latency_aware_winning_the_burst(self, capsys):
+        assert main(["slo", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["slo_us"] == 10_000
+        queue, latency = document["policies"]
+        assert queue["policy"] == "queue-depth"
+        assert latency["policy"] == "latency-aware"
+        # The mailbox backlog is invisible to run-queue spread: the
+        # queue-depth arm never moves and its tail rots, while the
+        # latency-aware arm migrates and lands a lower p99.
+        assert queue["migrations"] == 0
+        assert queue["first_move_at_us"] is None
+        assert latency["migrations"] >= 1
+        assert latency["p99_us"] < queue["p99_us"]
+        assert latency["replies_in_slo"] > queue["replies_in_slo"]
+        assert latency["slo_breach_samples"] >= 2
+
+    def test_slo_threshold_is_configurable(self, capsys):
+        assert main(["slo", "--clients", "8", "--slo-us", "25000"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 SLO 25000us" in out
+
+
 class TestTraceCommand:
     def test_writes_perfetto_loadable_trace(self, tmp_path, capsys):
         out = tmp_path / "trace.json"

@@ -229,3 +229,77 @@ class TestCollectors:
         )
         snap = registry.snapshot()
         assert snap.total("a") == 1 and snap.total("b") == 2
+
+
+class TestHistogramDelta:
+    """delta_since: the windowed view an SLO balancer samples."""
+
+    def test_window_contains_only_new_observations(self):
+        histogram = LatencyHistogram("lat", ())
+        for value in (100, 200, 400):
+            histogram.observe(value)
+        first = histogram.freeze()
+        for value in (800, 1_600):
+            histogram.observe(value)
+        window = histogram.freeze().delta_since(first)
+        assert window.count == 2
+        assert window.sum == 800 + 1_600
+        # The window's percentile reads off only the new observations.
+        assert window.percentile(0.5) >= 800
+        # An unchanged histogram yields an empty window.
+        empty = histogram.freeze().delta_since(histogram.freeze())
+        assert empty.count == 0
+        assert empty.percentile(0.99) is None
+
+    def test_windows_partition_the_lifetime_counts(self):
+        histogram = LatencyHistogram("lat", ())
+        snapshots = [histogram.freeze()]
+        for batch in ((10, 20), (30,), (40, 50, 60)):
+            for value in batch:
+                histogram.observe(value)
+            snapshots.append(histogram.freeze())
+        windows = [
+            later.delta_since(earlier)
+            for earlier, later in zip(snapshots, snapshots[1:])
+        ]
+        assert [w.count for w in windows] == [2, 1, 3]
+        assert sum(w.sum for w in windows) == histogram.freeze().sum
+
+    def test_min_max_keep_the_lifetime_envelope(self):
+        histogram = LatencyHistogram("lat", ())
+        histogram.observe(1)
+        first = histogram.freeze()
+        histogram.observe(1_000_000)
+        window = histogram.freeze().delta_since(first)
+        assert window.min == 1
+        assert window.max == 1_000_000
+
+    def test_mismatched_buckets_rejected(self):
+        small = Histogram("a", (), buckets=(1, 2)).freeze()
+        large = Histogram("b", (), buckets=(1, 2, 3)).freeze()
+        with pytest.raises(ValueError):
+            large.delta_since(small)
+
+    def test_newer_snapshot_required(self):
+        histogram = LatencyHistogram("lat", ())
+        old = histogram.freeze()
+        histogram.observe(5)
+        new = histogram.freeze()
+        with pytest.raises(ValueError):
+            old.delta_since(new)
+
+
+class TestHistogramByLabel:
+    def test_series_keyed_by_one_label(self):
+        registry = MetricsRegistry()
+        registry.latency_histogram("lat", domain="east").observe(10)
+        registry.latency_histogram("lat", domain="west").observe(20)
+        registry.latency_histogram("lat").observe(30)  # unlabelled
+        by_domain = registry.snapshot().histogram_by_label("lat", "domain")
+        assert set(by_domain) == {"east", "west"}
+        assert by_domain["east"].count == 1
+        assert by_domain["west"].sum == 20
+
+    def test_absent_metric_yields_empty_mapping(self):
+        registry = MetricsRegistry()
+        assert registry.snapshot().histogram_by_label("nope", "x") == {}

@@ -90,3 +90,40 @@ class TestRequestLatencySection:
         assert "request latency: p50" in rendered
         assert "(6 requests)" in rendered
         assert report.to_dict()["request_latency"]["count"] == 6
+
+    def test_per_domain_digests_after_open_loop_run(self):
+        from repro.workloads.closed_loop import ClientPool, OpenLoopConfig
+        from repro.workloads.pingpong import echo_server
+
+        system = make_system()
+        for machine, name in ((1, "svc-a"), (2, "svc-b")):
+            system.spawn(
+                lambda ctx, _n=name: echo_server(ctx, service_name=_n),
+                machine=machine, name=name,
+            )
+        pool = ClientPool(
+            system,
+            OpenLoopConfig(clients=8, mean_interarrival_us=20_000,
+                           duration=120_000, deadline_us=50_000),
+            services=("svc-a", "svc-b"),
+            domains={"svc-a": "east", "svc-b": "west"},
+        )
+        pool.install()
+        drain(system, max_events=5_000_000)
+        report = collect_report(system)
+        domains = report.request_latency_by_domain
+        assert set(domains) == {"east", "west"}
+        assert sum(d["count"] for d in domains.values()) == (
+            report.request_latency["count"]
+        )
+        rendered = "\n".join(report.lines())
+        assert "domain east: p50" in rendered
+        assert report.to_dict()["request_latency_by_domain"]["west"][
+            "count"
+        ] == domains["west"]["count"]
+
+    def test_domain_section_empty_without_domain_labels(self):
+        system = make_bare_system()
+        report = collect_report(system)
+        assert report.request_latency_by_domain == {}
+        assert report.to_dict()["request_latency_by_domain"] == {}
