@@ -56,6 +56,11 @@ class ShardBenchParams:
     duration: int
     latency: int = 1_000  #: wire latency == conservative lookahead
     topology: str = "torus"  #: SystemConfig topology shape
+    #: two-level window grid: pairs exchange at their own cadence
+    barrier_elision: bool = False
+    #: slow-tier wire latency (torus verticals + column wraps); the
+    #: gap between this and `latency` is what elision harvests
+    backbone_latency: int | None = None
 
 
 FULL = ShardBenchParams(
@@ -103,6 +108,62 @@ SMOKE = ShardBenchParams(
     duration=700_000,
 )
 
+#: the FULL scenario with barrier elision on a two-tier torus: local
+#: wires 1 ms, inter-row backbone 4 ms, so each shard pair's exchange
+#: cadence is 4 grid windows and only the 4 wire-connected pairs of
+#: the row-band ring rendezvous at all (vs 6 all-pairs).
+ELIDE = ShardBenchParams(
+    name="e11_shards_elide",
+    machines=256,
+    shards=4,
+    pingers_per_server=4,
+    ping_rounds=24,
+    compute_rate_per_ms=1.0,
+    compute_window=600_000,
+    compute_work=40_000,
+    server_moves=32,
+    duration=1_500_000,
+    barrier_elision=True,
+    backbone_latency=4_000,
+)
+
+#: elision on the dense uniform-latency mesh: every shard pair is
+#: wire-connected and the pair period degenerates to the window grid,
+#: so there is nothing to elide — this arm proves the keyed-loop
+#: schedule is *still* byte-identical to the classic engine when the
+#: rendezvous cadence buys nothing.
+MESH_ELIDE = ShardBenchParams(
+    name="e11_shards_mesh_elide",
+    machines=64,
+    shards=4,
+    pingers_per_server=4,
+    ping_rounds=24,
+    compute_rate_per_ms=1.0,
+    compute_window=600_000,
+    compute_work=40_000,
+    server_moves=32,
+    duration=1_200_000,
+    topology="mesh",
+    barrier_elision=True,
+)
+
+#: CI `elision-smoke`: 4x4 two-tier torus, one row per shard, same
+#: gates as the full elision arm at 1/16th the size
+ELIDE_SMOKE = ShardBenchParams(
+    name="e11_shards_elide_smoke",
+    machines=16,
+    shards=4,
+    pingers_per_server=2,
+    ping_rounds=6,
+    compute_rate_per_ms=0.25,
+    compute_window=200_000,
+    compute_work=40_000,
+    server_moves=4,
+    duration=700_000,
+    barrier_elision=True,
+    backbone_latency=4_000,
+)
+
 #: the ROADMAP's 1,024-machine step, sharded: 32x32 torus, 8 rows/shard
 XSPARSE = ShardBenchParams(
     name="e11_shards_xsparse",
@@ -125,6 +186,8 @@ def run_sharded_cluster(p: ShardBenchParams, shards: int, executor: str):
         topology=p.topology,
         latency=p.latency,
         shards=shards,
+        barrier_elision=p.barrier_elision,
+        backbone_latency=p.backbone_latency,
         trace_categories=(),  # tracing off: measure the bare hot path
         metrics_enabled=False,  # plain integer counters only
     ))
@@ -243,6 +306,7 @@ def run_sharded_cluster(p: ShardBenchParams, shards: int, executor: str):
             "packets_sent": net.packets_sent,
             "wire_bytes_sent": net.bytes_sent,
             "events_fired": shard.loop.events_fired,
+            "sync_stats": shard.network.sync.as_dict(),
         }
 
     started = time.perf_counter()
@@ -252,15 +316,22 @@ def run_sharded_cluster(p: ShardBenchParams, shards: int, executor: str):
     merged = {
         key: sum(part[key] for part in per_shard)
         for key in per_shard[0]
+        if key != "sync_stats"
     }
     merged["compute_jobs"] = len(plan)
     events = merged.pop("events_fired")
-    return merged, events, wall
+    sync = {
+        key: sum(part["sync_stats"][key] for part in per_shard)
+        for key in per_shard[0]["sync_stats"]
+    }
+    return merged, sync, events, wall
 
 
 def _parity_and_report(p: ShardBenchParams) -> None:
-    reference, ref_events, ref_wall = run_sharded_cluster(p, 1, "serial")
-    sharded, sh_events, sh_wall = run_sharded_cluster(
+    reference, _, ref_events, ref_wall = run_sharded_cluster(
+        p, 1, "serial",
+    )
+    sharded, _, sh_events, sh_wall = run_sharded_cluster(
         p, p.shards, "fork",
     )
 
@@ -324,6 +395,120 @@ def _parity_and_report(p: ShardBenchParams) -> None:
     assert reference["link_updates_applied"] >= 1
 
 
+def _elide_and_report(p: ShardBenchParams) -> None:
+    """Elision gates: parity across shard counts AND engines, plus the
+    sync-overhead reductions the rendezvous schedule exists for."""
+    import dataclasses
+
+    classic = dataclasses.replace(p, barrier_elision=False)
+    reference, _, ref_events, ref_wall = run_sharded_cluster(
+        classic, 1, "serial",
+    )
+    classic_sharded, classic_sync, cl_events, cl_wall = (
+        run_sharded_cluster(classic, p.shards, "fork")
+    )
+
+    shard_counts = sorted({1, 2, p.shards})
+    arms = {}
+    elide_walls = {}
+    for n in shard_counts:
+        executor = "serial" if n == 1 else "fork"
+        merged, sync, events, wall = run_sharded_cluster(p, n, executor)
+        arms[n] = (merged, sync, events)
+        elide_walls[n] = wall
+
+    def diffed(other):
+        return {
+            key: (reference[key], other[key])
+            for key in reference
+            if reference[key] != other.get(key)
+        }
+
+    # Gate 1 — the classic determinism bar, unchanged.
+    assert classic_sharded == reference, (
+        "classic sharded diverged: " + str(diffed(classic_sharded))
+    )
+    assert cl_events == ref_events
+    # Gate 2 — elision is unobservable: every elided arm matches the
+    # classic reference bit for bit, counters and event counts alike.
+    for n, (merged, _, events) in arms.items():
+        assert merged == reference, (
+            f"elided shards={n} diverged from the classic reference: "
+            + str(diffed(merged))
+        )
+        assert events == ref_events, (n, events, ref_events)
+
+    elided_sync = arms[p.shards][1]
+    if p.backbone_latency is not None:
+        # Gate 3 — the point of the exercise: on a two-tier topology
+        # the rendezvous schedule must cut barrier rounds >= 3x and
+        # ship fewer bytes, while actually skipping grid windows.
+        round_ratio = classic_sync["rounds"] / max(
+            elided_sync["rounds"], 1,
+        )
+        assert round_ratio >= 3.0, (
+            f"barrier rounds only improved {round_ratio:.2f}x "
+            f"({classic_sync['rounds']} -> {elided_sync['rounds']})"
+        )
+        assert elided_sync["bytes_sent"] < classic_sync["bytes_sent"]
+        assert elided_sync["windows_elided"] > 0
+    else:
+        round_ratio = classic_sync["rounds"] / max(
+            elided_sync["rounds"], 1,
+        )
+
+    print_table(
+        f"E11: barrier elision ({p.machines} machines, "
+        f"{p.shards} shards, backbone "
+        f"{p.backbone_latency or p.latency}us)",
+        ["metric", "classic", "elided"],
+        [
+            [key, classic_sync[key], elided_sync[key]]
+            for key in classic_sync
+        ]
+        + [
+            ["barrier round ratio", "", f"{round_ratio:.2f}x"],
+            ["events_fired (gated)", ref_events, arms[p.shards][2]],
+            [f"fork x{p.shards} wall s (not gated)",
+             f"{cl_wall:.2f}", f"{elide_walls[p.shards]:.2f}"],
+        ],
+        notes=f"all counters byte-identical across shards "
+              f"{shard_counts} elided AND vs the classic engine; "
+              "sync overhead gated exactly",
+    )
+    write_bench_artifact(
+        p.name,
+        {
+            **reference,
+            **{f"classic_sync_{k}": v for k, v in classic_sync.items()
+               if k != "windows_elided"},
+            **{f"elided_sync_{k}": v for k, v in elided_sync.items()},
+        },
+        meta={
+            "machines": p.machines,
+            "topology": p.topology,
+            "shards": p.shards,
+            "shard_counts_gated": shard_counts,
+            "lookahead_us": p.latency,
+            "backbone_latency_us": p.backbone_latency,
+            "events_fired": ref_events,
+            "barrier_round_ratio": round(round_ratio, 2),
+            "serial_wall_seconds": round(ref_wall, 3),
+            "classic_fork_wall_seconds": round(cl_wall, 3),
+            "elided_fork_wall_seconds": round(
+                elide_walls[p.shards], 3,
+            ),
+            "cpu_count": os.cpu_count(),
+            "paper": "records carry their grid window, so shard pairs "
+                     "can exchange at their wire latency's cadence "
+                     "instead of every window — fewer, fatter barriers "
+                     "with bit-identical results",
+        },
+    )
+    assert reference["pingers_done"] == p.machines * p.pingers_per_server
+    assert reference["compute_done"] == reference["compute_jobs"]
+
+
 def test_e11_shards(bench_once):
     bench_once(_parity_and_report, FULL)
 
@@ -338,3 +523,15 @@ def test_e11_shards_smoke(bench_once):
 
 def test_e11_shards_xsparse(bench_once):
     bench_once(_parity_and_report, XSPARSE)
+
+
+def test_e11_shards_elide(bench_once):
+    bench_once(_elide_and_report, ELIDE)
+
+
+def test_e11_shards_mesh_elide(bench_once):
+    bench_once(_elide_and_report, MESH_ELIDE)
+
+
+def test_e11_shards_elide_smoke(bench_once):
+    bench_once(_elide_and_report, ELIDE_SMOKE)

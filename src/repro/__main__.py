@@ -149,6 +149,8 @@ def _report_sharded(args: argparse.Namespace) -> int:
 
     system = ShardedSystem(SystemConfig(
         machines=args.machines, topology="torus", shards=args.shards,
+        barrier_elision=args.elide,
+        backbone_latency=args.backbone_latency,
     ))
     boards = [ResultsBoard() for _ in system.shards]
     count = args.machines
@@ -180,7 +182,8 @@ def _report_sharded(args: argparse.Namespace) -> int:
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     print(f"sharded execution: {len(system.shards)} shards, "
-          f"lookahead {system.plan.lookahead}us")
+          f"lookahead {system.plan.lookahead}us"
+          + (", barrier elision on" if args.elide else ""))
     for line in report.lines():
         print(line)
     return 0
@@ -406,6 +409,16 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=1,
         help="run the cluster across N parallel execution shards "
              "(>1 selects the sharded engine on a torus; default: 1)",
+    )
+    report.add_argument(
+        "--elide", action="store_true",
+        help="with --shards: decouple barrier cadence from the window "
+             "grid (pairs rendezvous only every min-pair-latency)",
+    )
+    report.add_argument(
+        "--backbone-latency", type=int, default=None,
+        help="with --shards: slower latency (us) for torus backbone "
+             "wires, widening cross-shard rendezvous periods",
     )
     report.set_defaults(func=_cmd_report)
 

@@ -36,6 +36,18 @@ class SystemConfig:
     #: (1 = the classic single event loop; >1 selects the sharded engine,
     #: :class:`repro.sim.shard.ShardedSystem`)
     shards: int = 1
+    #: decouple the injection grid from the communication cadence: shard
+    #: pairs exchange hop records only every pair-minimum-latency ticks
+    #: instead of at every global window, with batched pipe transport
+    #: (see :mod:`repro.sim.barrier`).  Off by default — the classic
+    #: per-window schedule stays available and is the reference.
+    barrier_elision: bool = False
+    #: latency of the topology's backbone wires (torus inter-row wires
+    #: and column wraps; the clique gateway ring).  None keeps every
+    #: wire at ``latency``.  A backbone slower than the local wires is
+    #: what gives shard pairs a coarser exchange cadence than the
+    #: global window grid.
+    backbone_latency: int | None = None
 
     # --- kernels --------------------------------------------------------
     quantum: int = 1_000
@@ -99,6 +111,25 @@ class SystemConfig:
                 "latency is the conservative lookahead, and a zero "
                 "lookahead admits no parallel window"
             )
+        if self.backbone_latency is not None:
+            if self.topology not in ("torus", "cliques"):
+                raise ConfigError(
+                    "backbone_latency applies only to topologies with a "
+                    "backbone tier (torus, cliques); "
+                    f"got {self.topology!r}"
+                )
+            if self.backbone_latency < self.latency:
+                raise ConfigError(
+                    "backbone_latency must be >= latency (the backbone "
+                    "is the slow tier; a faster backbone would shrink "
+                    "the conservative lookahead instead)"
+                )
+        if self.barrier_elision and self.latency < 1:
+            raise ConfigError(
+                "barrier elision needs latency >= 1: the minimum wire "
+                "latency is the window grid the record keys are "
+                "computed against"
+            )
         if self.quantum <= 0 or self.syscall_cpu_cost <= 0:
             raise ConfigError("quantum and syscall cost must be positive")
         if self.max_data_packet <= 0:
@@ -132,14 +163,18 @@ class SystemConfig:
         bandwidth = self.bandwidth
         if shape == "torus":
             rows = near_square_factor(n)
-            return Topology.torus2d(rows, n // rows, latency, bandwidth)
+            return Topology.torus2d(
+                rows, n // rows, latency, bandwidth,
+                backbone_latency=self.backbone_latency,
+            )
         if shape == "hypercube":
             # validate() guarantees n is a power of two
             return Topology.hypercube(n.bit_length() - 1, latency, bandwidth)
         if shape == "cliques":
             size = near_square_factor(n)
             return Topology.ring_of_cliques(
-                n // size, size, latency, bandwidth
+                n // size, size, latency, bandwidth,
+                backbone_latency=self.backbone_latency,
             )
         builder = {
             "mesh": Topology.full_mesh,

@@ -21,7 +21,7 @@ from repro.net.packet import Packet
 from repro.net.reliable import DEFAULT_RTO, ReliableTransport
 from repro.net.stats import NetworkStats
 from repro.net.topology import MachineId, Topology
-from repro.sim.barrier import HopRecord
+from repro.sim.barrier import RECORD_KEY, HopRecord, SyncStats
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
@@ -319,6 +319,14 @@ class ShardNetwork(Network):
     Not supported under sharding: fail-stop takeover (redirects need a
     global view of routing) and retroactive ``set_faults`` (the default
     plan from the config applies to every wire from the start).
+
+    With *elide_grid* set (barrier elision), the loop must be a
+    :class:`~repro.sim.loop.KeyedEventLoop` on the same grid: records
+    carry their production window (``gen``) and are scheduled under
+    their canonical key, which makes injection timing irrelevant — so
+    hops whose next stop is in this same shard skip the outbox and are
+    scheduled immediately, and cross-shard outboxes wait for their
+    pair's rendezvous instead of the next global window.
     """
 
     def __init__(
@@ -333,6 +341,7 @@ class ShardNetwork(Network):
         faults: FaultPlan | None = None,
         rto: int = DEFAULT_RTO,
         metrics: "MetricsRegistry | None" = None,
+        elide_grid: int | None = None,
     ) -> None:
         super().__init__(
             loop,
@@ -344,9 +353,19 @@ class ShardNetwork(Network):
             metrics=metrics,
             machines=machines,
         )
+        if elide_grid is not None and not hasattr(loop, "schedule_record"):
+            raise SimulationError(
+                "barrier elision needs a KeyedEventLoop (record keys are "
+                "the loop's tie-break)"
+            )
         self.shard_index = shard_index
         self.shard_of = shard_of
         self.machines = list(machines)
+        #: sync-overhead counters the barrier runner fills in
+        self.sync = SyncStats()
+        #: test hook: called with each delivered HopRecord (or None)
+        self.on_record_delivered: Callable[[HopRecord], None] | None = None
+        self._elide_grid = elide_grid
         self._outboxes: dict[int, list[HopRecord]] = {}
         self._wire_busy: dict[tuple[MachineId, MachineId], int] = {}
         self._wire_seq: dict[tuple[MachineId, MachineId], int] = {}
@@ -356,25 +375,46 @@ class ShardNetwork(Network):
     # -- barrier handoff ------------------------------------------------
 
     def take_outboxes(self) -> dict[int, list[HopRecord]]:
-        """Pending hop records keyed by destination shard (clears them)."""
+        """Pending hop records keyed by destination shard (clears them).
+
+        Each destination's list is sorted into canonical order here —
+        at drain time, per source — so barriers merge the pre-sorted
+        per-source lists instead of re-sorting the concatenation.
+        """
         outboxes = self._outboxes
         self._outboxes = {}
+        for records in outboxes.values():
+            records.sort(key=RECORD_KEY)
         return outboxes
+
+    def take_outbox(self, dest: int) -> list[HopRecord]:
+        """Pending hop records for one destination shard, pre-sorted
+        (clears just that outbox) — the pairwise-rendezvous drain."""
+        records = self._outboxes.pop(dest, [])
+        records.sort(key=RECORD_KEY)
+        return records
 
     def receive_record(self, record: HopRecord) -> None:
         """Schedule one barrier-delivered hop at its exact arrival tick.
 
-        Called in canonical record order; ``call_at`` hands out sequence
-        numbers in call order, so the injection order *is* the delivery
-        tie-break order.
+        Classic schedule: called in canonical record order; ``call_at``
+        hands out sequence numbers in call order, so the injection
+        order *is* the delivery tie-break order.  Under elision the
+        record's own key is the tie-break and the call order does not
+        matter.
         """
         self._inbound_pending += 1
-        self.loop.call_at(
-            record.arrival, self._record_arrived, record.dst, record.packet
-        )
+        if self._elide_grid is not None:
+            self.loop.schedule_record(record, self._record_arrived, record)
+        else:
+            self.loop.call_at(record.arrival, self._record_arrived, record)
 
-    def _record_arrived(self, here: MachineId, packet: Packet) -> None:
+    def _record_arrived(self, record: HopRecord) -> None:
         self._inbound_pending -= 1
+        if self.on_record_delivered is not None:
+            self.on_record_delivered(record)
+        here = record.dst
+        packet = record.packet
         if here == packet.dst:
             self._transport(here).on_packet(packet)
         else:
@@ -425,17 +465,41 @@ class ShardNetwork(Network):
         serialization = packet.size_bytes * 1_000 // max(wire.bandwidth, 1)
         busy = self._wire_busy.get(wire_key, 0)
         seq = self._wire_seq.get(wire_key, 0)
-        outbox = self._outboxes.setdefault(self.shard_of(next_hop), [])
-        for _ in range(copies):
-            departs = max(now, busy) + serialization
-            busy = departs
-            delay = departs - now + wire.latency
-            if plan.max_jitter:
-                delay += rng.randint(0, plan.max_jitter)
-            seq += 1
-            outbox.append(
-                HopRecord(now + delay, here, next_hop, seq, packet)
-            )
+        grid = self._elide_grid
+        if grid is None:
+            outbox = self._outboxes.setdefault(self.shard_of(next_hop), [])
+            for _ in range(copies):
+                departs = max(now, busy) + serialization
+                busy = departs
+                delay = departs - now + wire.latency
+                if plan.max_jitter:
+                    delay += rng.randint(0, plan.max_jitter)
+                seq += 1
+                outbox.append(
+                    HopRecord(now + delay, here, next_hop, seq, packet)
+                )
+        else:
+            # Elision: tag the production window; a hop staying in this
+            # shard needs no barrier at all — its key already places it.
+            gen = now // grid
+            dest_shard = self.shard_of(next_hop)
+            direct = dest_shard == self.shard_index
+            for _ in range(copies):
+                departs = max(now, busy) + serialization
+                busy = departs
+                delay = departs - now + wire.latency
+                if plan.max_jitter:
+                    delay += rng.randint(0, plan.max_jitter)
+                seq += 1
+                record = HopRecord(
+                    now + delay, here, next_hop, seq, packet, gen
+                )
+                if direct:
+                    self.receive_record(record)
+                else:
+                    self._outboxes.setdefault(dest_shard, []).append(
+                        record
+                    )
         self._wire_busy[wire_key] = busy
         self._wire_seq[wire_key] = seq
 

@@ -126,6 +126,15 @@ class Topology:
             self._adjacency[a].append((b, latency))
         self._wires[(a, b)] = Wire(a, b, latency, bandwidth)
 
+    def wires(self) -> list[Wire]:
+        """Every directed wire, in insertion order (deterministic).
+
+        The sharded engine walks this to derive per-shard-pair minimum
+        latencies — the communication cadence of the barrier-elision
+        schedule (:mod:`repro.sim.barrier`).
+        """
+        return list(self._wires.values())
+
     def min_latency(self) -> int | None:
         """The smallest wire latency, or None on a wireless topology.
 
@@ -280,13 +289,23 @@ class Topology:
         cols: int,
         latency: int = 100,
         bandwidth: int = 1_000,
+        backbone_latency: int | None = None,
     ) -> "Topology":
         """A rows x cols grid with wrap-around edges (degree <= 4).
 
         Machine ``(r, c)`` is id ``r * cols + c``.  Wrap wires are only
         added when a dimension exceeds two, since at length two the wrap
         would duplicate the existing neighbour wire.
+
+        With *backbone_latency* set, the vertical (inter-row) wires and
+        the column wraps carry that latency while intra-row wires keep
+        *latency* — short links inside a rack row, slower links between
+        rows.  Rows are the shard-alignment unit, so every wire that can
+        cross a shard boundary is a backbone wire, which is what gives
+        the barrier-elision schedule a coarser cross-shard cadence than
+        the global window grid.
         """
+        backbone = latency if backbone_latency is None else backbone_latency
         topo = cls()
         for m in range(rows * cols):
             topo.add_machine(m)
@@ -296,12 +315,12 @@ class Topology:
                 if c + 1 < cols:
                     topo.connect(m, m + 1, latency, bandwidth)
                 if r + 1 < rows:
-                    topo.connect(m, m + cols, latency, bandwidth)
+                    topo.connect(m, m + cols, backbone, bandwidth)
             if cols > 2:
                 topo.connect(r * cols + cols - 1, r * cols, latency, bandwidth)
         if rows > 2:
             for c in range(cols):
-                topo.connect((rows - 1) * cols + c, c, latency, bandwidth)
+                topo.connect((rows - 1) * cols + c, c, backbone, bandwidth)
         return topo
 
     @classmethod
@@ -333,14 +352,19 @@ class Topology:
         clique_size: int,
         latency: int = 100,
         bandwidth: int = 1_000,
+        backbone_latency: int | None = None,
     ) -> "Topology":
         """Fully-meshed pods of ``clique_size`` machines joined in a ring.
 
         Models racks on a backbone: clique *k* holds machines
         ``k * clique_size .. (k + 1) * clique_size - 1`` and its first
         member is the gateway wired to the neighbouring cliques'
-        gateways.
+        gateways.  With *backbone_latency* set, the gateway ring carries
+        that latency while intra-clique wires keep *latency* — cliques
+        are the shard-alignment unit, so every shard-crossing wire is a
+        backbone wire.
         """
+        backbone = latency if backbone_latency is None else backbone_latency
         topo = cls()
         for m in range(cliques * clique_size):
             topo.add_machine(m)
@@ -350,13 +374,13 @@ class Topology:
                 for b in range(a + 1, clique_size):
                     topo.connect(base + a, base + b, latency, bandwidth)
         if cliques == 2:
-            topo.connect(0, clique_size, latency, bandwidth)
+            topo.connect(0, clique_size, backbone, bandwidth)
         elif cliques > 2:
             for k in range(cliques):
                 topo.connect(
                     k * clique_size,
                     ((k + 1) % cliques) * clique_size,
-                    latency,
+                    backbone,
                     bandwidth,
                 )
         return topo

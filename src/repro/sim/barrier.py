@@ -39,11 +39,34 @@ shards in one process (the reference executor, also used for
 a forked worker, exchanging records with its peers over pairwise pipes.
 Both compute the same global next-event time each round, so they follow
 exactly the same window sequence.
+
+**Barrier elision** (``SystemConfig.barrier_elision``) decouples the
+injection grid from the communication cadence.  The grid — which
+window a record belongs to, and hence its tie-break slot — stays the
+global minimum wire latency, but it is carried *in the record* (the
+``gen`` tag) and enforced by the keyed event loop
+(:class:`~repro.sim.loop.KeyedEventLoop`), not by injection timing.
+That frees the runners to exchange each shard *pair* only every
+``period(i, j)`` ticks, where the period is the largest grid multiple
+not exceeding the minimum latency over wires crossing that pair: a
+record produced after one rendezvous cannot arrive before the next, so
+handing it over at the next rendezvous is still conservatively early.
+Pairs with no connecting wire never rendezvous at all during the
+horizon phase (hops traverse physical wires, so no record can be
+addressed to a wireless pair); the drain phase keeps all-pairs rounds
+— global quiescence is not locally detectable on a sparse exchange
+graph — but strides each round by the shard's minimum incident pair
+period (:func:`drain_step`).  :class:`ElidedSerialRunner` and
+:class:`ElidedWorkerBarrier` implement the schedule; both count their
+synchronisation traffic in :class:`SyncStats` (rounds, records, bytes
+— the bytes of the same pickled blobs the fork transport ships).
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
+from heapq import merge as _heapq_merge
 from operator import attrgetter
 from typing import TYPE_CHECKING, Any, Iterable, Protocol
 
@@ -58,7 +81,9 @@ class HopRecord:
     ``wire_seq`` is a per-directed-wire monotone counter owned by the
     wire's source shard; together with ``(arrival, src, dst)`` it gives
     every record pending at a barrier a total order that does not
-    depend on the shard layout.
+    depend on the shard layout.  ``gen`` is the grid window the hop was
+    *produced* in — the slot the keyed event loop files it under, so a
+    record can be injected at any barrier without moving in the order.
     """
 
     arrival: int  #: simulated time the hop completes at ``dst``
@@ -66,10 +91,35 @@ class HopRecord:
     dst: int  #: machine the hop arrives at (next hop, not final dest)
     wire_seq: int  #: per-wire transmit counter (duplicates get their own)
     packet: Any  #: the in-flight :class:`~repro.net.packet.Packet`
+    gen: int = 0  #: grid window of production (barrier-elision key)
 
 
 #: Canonical barrier injection order (see module docstring).
 RECORD_KEY = attrgetter("arrival", "src", "dst", "wire_seq")
+
+#: Pipes carry pre-pickled blobs (one per peer per round) so each
+#: rendezvous is a single send/recv syscall pair and its size is
+#: countable; the protocol is pinned so byte counts are deterministic
+#: across interpreter versions.
+WIRE_PICKLE_PROTOCOL = min(pickle.HIGHEST_PROTOCOL, 5)
+
+
+def pack_blob(payload: Any) -> bytes:
+    """Pickle one barrier message into the blob the pipe carries."""
+    return pickle.dumps(payload, WIRE_PICKLE_PROTOCOL)
+
+
+def merge_sorted_records(
+    lists: Iterable[list[HopRecord]],
+) -> list[HopRecord]:
+    """Merge per-source pre-sorted record lists into canonical order.
+
+    Every list is already sorted by :data:`RECORD_KEY` (outboxes are
+    sorted when drained) and the key is globally unique, so a k-way
+    merge produces exactly what re-sorting the concatenation would —
+    without the O(n log n) comparison bill at every barrier.
+    """
+    return list(_heapq_merge(*lists, key=RECORD_KEY))
 
 
 def sort_records(records: Iterable[HopRecord]) -> list[HopRecord]:
@@ -80,6 +130,83 @@ def sort_records(records: Iterable[HopRecord]) -> list[HopRecord]:
 def window_end(time: int, lookahead: int) -> int:
     """End of the grid-aligned window containing *time*."""
     return (time // lookahead + 1) * lookahead
+
+
+class SyncStats:
+    """Synchronisation-overhead counters for one shard.
+
+    Everything here is deterministic — rounds and record counts follow
+    the (deterministic) schedule, and byte counts measure the pickled
+    blobs with a pinned protocol — so benchmarks gate these numbers
+    exactly, per artifact.  They are *not* part of the shard-count
+    parity set: a ``shards=1`` run has no peers and therefore no
+    synchronisation traffic at all.
+    """
+
+    __slots__ = (
+        "rounds",
+        "records_sent",
+        "records_received",
+        "bytes_sent",
+        "bytes_received",
+        "windows_elided",
+    )
+
+    def __init__(self) -> None:
+        self.rounds = 0  #: pairwise exchanges this shard took part in
+        self.records_sent = 0
+        self.records_received = 0
+        self.bytes_sent = 0  #: pickled blob bytes shipped to peers
+        self.bytes_received = 0
+        #: grid windows crossed between rendezvous without a barrier
+        self.windows_elided = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (benchmark artifacts)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def drain_step(
+    pair_periods: dict[tuple[int, int], int], shard: int, lookahead: int
+) -> int:
+    """How far *shard* may run past a drain exchange's global floor.
+
+    After an all-pairs exchange every worker knows the global
+    next-event time ``nxt`` and holds every already-produced record;
+    any *new* cross-shard influence originates at an event >= ``nxt``
+    and must traverse a wire crossing one of the shard's incident
+    pairs, so it cannot arrive before ``nxt + period(pair)``.  The
+    minimum incident period is therefore a sound per-round stride —
+    the drain-phase analogue of the rendezvous cadence (a shard with
+    no incident pairs keeps the classic one-window stride; it receives
+    nothing either way).
+    """
+    incident = [
+        period
+        for (i, j), period in pair_periods.items()
+        if shard in (i, j)
+    ]
+    return min(incident, default=lookahead)
+
+
+def rendezvous_schedule(
+    pair_periods: dict[tuple[int, int], int], horizon: int
+) -> list[tuple[int, int, int]]:
+    """Every ``(time, i, j)`` rendezvous up to *horizon*, globally sorted.
+
+    Pair ``(i, j)`` meets at every multiple of its period.  The sorted
+    order is the processing order on every worker: each worker walks
+    its own pairs' events in this order, and because the globally
+    least unprocessed rendezvous is the least *local* rendezvous of
+    both its participants, some pair can always meet — no deadlock.
+    """
+    events = [
+        (t, i, j)
+        for (i, j), period in pair_periods.items()
+        for t in range(period, horizon + 1, period)
+    ]
+    events.sort()
+    return events
 
 
 class ShardPeer(Protocol):
@@ -98,7 +225,17 @@ class ShardPeer(Protocol):
         ...  # pragma: no cover
 
     def drain_outboxes(self) -> dict[int, list[HopRecord]]:
-        """Take (and clear) pending records, keyed by dest shard."""
+        """Take (and clear) pending records, keyed by dest shard.
+
+        Each list comes back pre-sorted in canonical order, so barriers
+        merge instead of re-sorting (see :func:`merge_sorted_records`).
+        """
+        ...  # pragma: no cover
+
+    def take_outbox(self, dest: int) -> list[HopRecord]:
+        """Take (and clear) pending records for one destination shard,
+        pre-sorted — the pairwise-rendezvous flavour of
+        :meth:`drain_outboxes`."""
         ...  # pragma: no cover
 
     def inject(self, records: list[HopRecord]) -> None:
@@ -153,15 +290,17 @@ class SerialBarrierRunner:
                 peer.advance_to(horizon)
 
     def _exchange_all(self) -> None:
-        """Move every pending record to its destination shard, in
-        canonical order per destination."""
-        by_dest: dict[int, list[HopRecord]] = {}
+        """Move every pending record to its destination shard, merging
+        the per-source pre-sorted lists into canonical order."""
+        by_dest: dict[int, list[list[HopRecord]]] = {}
         for peer in self.peers:
             for dest, records in peer.drain_outboxes().items():
-                by_dest.setdefault(dest, []).extend(records)
-        for dest, records in by_dest.items():
-            self.records_exchanged += len(records)
-            self.peers[dest].inject(sort_records(records))
+                if records:
+                    by_dest.setdefault(dest, []).append(records)
+        for dest, lists in by_dest.items():
+            merged = merge_sorted_records(lists)
+            self.records_exchanged += len(merged)
+            self.peers[dest].inject(merged)
 
 
 class WorkerBarrier:
@@ -176,7 +315,9 @@ class WorkerBarrier:
 
     Pipes are used in index order (lower index sends first), so the
     rendezvous pattern is deterministic and deadlock-free for the small
-    worker counts the engine targets.
+    worker counts the engine targets.  Each message travels as one
+    pre-pickled blob (:func:`pack_blob`) rather than per-object
+    ``Connection.send`` calls, and its size feeds :class:`SyncStats`.
     """
 
     def __init__(
@@ -184,18 +325,21 @@ class WorkerBarrier:
         index: int,
         peer_conns: dict[int, "Connection"],
         lookahead: int,
+        sync: SyncStats | None = None,
     ) -> None:
         if lookahead < 1:
             raise ValueError(f"lookahead must be >= 1, got {lookahead}")
         self.index = index
         self.peer_conns = peer_conns
         self.lookahead = lookahead
+        self.sync = sync if sync is not None else SyncStats()
         self.windows = 0
         self.records_exchanged = 0
 
     def _exchange(self, peer: ShardPeer) -> int | None:
         """One barrier round; injects inbound records and returns the
         global next-event time (None == global quiescence)."""
+        sync = self.sync
         outboxes = peer.drain_outboxes()
         head = peer.next_event_time()
         min_out = _next_time(
@@ -205,18 +349,29 @@ class WorkerBarrier:
                 for record in records
             )
         )
-        inbound: list[HopRecord] = list(outboxes.pop(self.index, ()))
+        inbound: list[list[HopRecord]] = []
+        own = outboxes.pop(self.index, None)
+        if own:
+            inbound.append(own)
         nxt = _next_time(head, min_out)
         for j in sorted(self.peer_conns):
             conn = self.peer_conns[j]
-            message = (outboxes.pop(j, []), head, min_out)
+            sending = outboxes.pop(j, [])
+            blob = pack_blob((sending, head, min_out))
             if self.index < j:
-                conn.send(message)
-                their_records, their_head, their_min_out = conn.recv()
+                conn.send_bytes(blob)
+                data = conn.recv_bytes()
             else:
-                their_records, their_head, their_min_out = conn.recv()
-                conn.send(message)
-            inbound.extend(their_records)
+                data = conn.recv_bytes()
+                conn.send_bytes(blob)
+            their_records, their_head, their_min_out = pickle.loads(data)
+            sync.rounds += 1
+            sync.bytes_sent += len(blob)
+            sync.bytes_received += len(data)
+            sync.records_sent += len(sending)
+            sync.records_received += len(their_records)
+            if their_records:
+                inbound.append(their_records)
             nxt = _next_time(nxt, their_head, their_min_out)
         if outboxes:
             leftover = sorted(outboxes)
@@ -225,8 +380,9 @@ class WorkerBarrier:
                 f"shards {leftover}"
             )
         if inbound:
-            self.records_exchanged += len(inbound)
-            peer.inject(sort_records(inbound))
+            merged = merge_sorted_records(inbound)
+            self.records_exchanged += len(merged)
+            peer.inject(merged)
         return nxt
 
     def run(self, peer: ShardPeer, horizon: int | None = None) -> None:
@@ -245,3 +401,257 @@ class WorkerBarrier:
                 break
         if horizon is not None:
             peer.advance_to(horizon)
+
+
+class ElidedSerialRunner:
+    """All shards in one process on the pairwise-rendezvous schedule.
+
+    The horizon phase walks :func:`rendezvous_schedule`: only
+    wire-connected shard pairs ever exchange, each at its own cadence,
+    and every shard free-runs between its rendezvous (the keyed event
+    loop makes injection timing irrelevant to ordering, so there is no
+    per-window lockstep).  The drain phase — quiescence is a *global*
+    property, undetectable on a sparse exchange graph — keeps all-pairs
+    rounds but strides them by each shard's :func:`drain_step`.
+
+    Per-shard :class:`SyncStats` are filled the way the forked workers
+    fill theirs: the same schedule (so ``rounds``, record counts and
+    ``windows_elided`` are executor-exact) and the same pickled blobs.
+    Byte counts can drift from the forked numbers by a fraction of a
+    percent: this process shares one object graph across shards, so a
+    peer's address-space-private mutations (packet serial counters,
+    lazily grown dicts) are visible here at pack time but not in an
+    isolated worker.  Pickling every cross-shard record also means the
+    elided serial runner — unlike :class:`SerialBarrierRunner` — needs
+    picklable cross-shard payloads; keep live-generator cross-shard
+    migration on the classic engine.
+    """
+
+    def __init__(
+        self,
+        peers: list[ShardPeer],
+        lookahead: int,
+        pair_periods: dict[tuple[int, int], int],
+        syncs: list[SyncStats] | None = None,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        self.peers = peers
+        self.lookahead = lookahead
+        self.pair_periods = dict(pair_periods)
+        self.syncs = (
+            syncs if syncs is not None else [SyncStats() for _ in peers]
+        )
+        self.windows = 0  #: drain-phase windows (diagnostics)
+        self.records_exchanged = 0
+        #: last rendezvous time completed per pair — persisted across
+        #: ``run`` calls so a resumed horizon never replays a meeting
+        self._last_met = dict.fromkeys(self.pair_periods, 0)
+        self._drain_steps = [
+            drain_step(pair_periods, s, lookahead)
+            for s in range(len(peers))
+        ]
+
+    def run(self, horizon: int | None = None) -> None:
+        """Rendezvous schedule up to *horizon*; classic drain without."""
+        if horizon is None:
+            self._drain()
+            return
+        peers = self.peers
+        syncs = self.syncs
+        lookahead = self.lookahead
+        # Tick each shard has already executed through (run_until is
+        # inclusive, so a rendezvous at t needs execution through t-1).
+        frontier = [-1] * len(peers)
+        last_met = self._last_met
+        for t, i, j in rendezvous_schedule(self.pair_periods, horizon):
+            if t <= last_met[(i, j)]:
+                continue  # met during an earlier run() call
+            for s in (i, j):
+                if t - 1 > frontier[s]:
+                    peers[s].run_window(t - 1)
+                    frontier[s] = t - 1
+            out_ij = peers[i].take_outbox(j)
+            out_ji = peers[j].take_outbox(i)
+            blob_ij = pack_blob(out_ij)
+            blob_ji = pack_blob(out_ji)
+            skipped = (t - last_met[(i, j)]) // lookahead - 1
+            for here, sent, received, blob_out, blob_in in (
+                (i, out_ij, out_ji, blob_ij, blob_ji),
+                (j, out_ji, out_ij, blob_ji, blob_ij),
+            ):
+                sync = syncs[here]
+                sync.rounds += 1
+                sync.bytes_sent += len(blob_out)
+                sync.bytes_received += len(blob_in)
+                sync.records_sent += len(sent)
+                sync.records_received += len(received)
+                if skipped > 0:
+                    sync.windows_elided += skipped
+            last_met[(i, j)] = t
+            self.records_exchanged += len(out_ij) + len(out_ji)
+            if out_ij:
+                peers[j].inject(out_ij)
+            if out_ji:
+                peers[i].inject(out_ji)
+        for s, peer in enumerate(peers):
+            if horizon > frontier[s]:
+                peer.run_window(horizon)
+            peer.advance_to(horizon)
+
+    def _drain(self) -> None:
+        """All-pairs rounds to global quiescence, strided per shard.
+
+        Mirrors what every :class:`ElidedWorkerBarrier` does in its
+        drain phase — the same rounds, blobs and per-shard strides —
+        so serial and forked executions report identical sync
+        schedules.
+        """
+        peers = self.peers
+        syncs = self.syncs
+        count = len(peers)
+        lookahead = self.lookahead
+        while True:
+            outs = [peer.drain_outboxes() for peer in peers]
+            heads = [peer.next_event_time() for peer in peers]
+            min_outs = [
+                _next_time(
+                    *(
+                        record.arrival
+                        for records in out.values()
+                        for record in records
+                    )
+                )
+                for out in outs
+            ]
+            inbound: list[list[list[HopRecord]]] = [[] for _ in peers]
+            for s in range(count):
+                own = outs[s].pop(s, None)
+                if own:
+                    inbound[s].append(own)
+            for i in range(count):
+                for j in range(i + 1, count):
+                    sent_ij = outs[i].pop(j, [])
+                    sent_ji = outs[j].pop(i, [])
+                    blob_ij = pack_blob((sent_ij, heads[i], min_outs[i]))
+                    blob_ji = pack_blob((sent_ji, heads[j], min_outs[j]))
+                    syncs[i].rounds += 1
+                    syncs[j].rounds += 1
+                    syncs[i].bytes_sent += len(blob_ij)
+                    syncs[i].bytes_received += len(blob_ji)
+                    syncs[j].bytes_sent += len(blob_ji)
+                    syncs[j].bytes_received += len(blob_ij)
+                    syncs[i].records_sent += len(sent_ij)
+                    syncs[i].records_received += len(sent_ji)
+                    syncs[j].records_sent += len(sent_ji)
+                    syncs[j].records_received += len(sent_ij)
+                    if sent_ij:
+                        inbound[j].append(sent_ij)
+                    if sent_ji:
+                        inbound[i].append(sent_ji)
+            for s in range(count):
+                if outs[s]:
+                    leftover = sorted(outs[s])
+                    raise RuntimeError(
+                        f"shard {s} produced records for unknown "
+                        f"shards {leftover}"
+                    )
+                if inbound[s]:
+                    merged = merge_sorted_records(inbound[s])
+                    self.records_exchanged += len(merged)
+                    peers[s].inject(merged)
+            nxt = _next_time(*heads, *min_outs)
+            if nxt is None:
+                break
+            # Per-shard stride: nothing new can cross into shard s
+            # before nxt + its minimum incident pair period, so each
+            # round covers period/lookahead grid windows, not one.
+            floor = window_end(nxt, lookahead) - 1
+            for s, peer in enumerate(peers):
+                peer.run_window(
+                    floor + self._drain_steps[s] - lookahead
+                )
+            self.windows += 1
+
+
+class ElidedWorkerBarrier(WorkerBarrier):
+    """One forked shard on the pairwise-rendezvous schedule.
+
+    The horizon phase walks this worker's slice of
+    :func:`rendezvous_schedule` (only wire-connected pairs, each at its
+    own cadence); the drain phase keeps the classic all-pairs exchange
+    but strides each round by this shard's :func:`drain_step`.
+    All-pairs pipes still exist — unconnected pairs stay silent until
+    the drain.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        peer_conns: dict[int, "Connection"],
+        lookahead: int,
+        pair_periods: dict[tuple[int, int], int],
+        sync: SyncStats | None = None,
+    ) -> None:
+        super().__init__(index, peer_conns, lookahead, sync=sync)
+        self.pair_periods = dict(pair_periods)
+        self._last_met = dict.fromkeys(self.pair_periods, 0)
+        self._drain_step = drain_step(
+            self.pair_periods, index, lookahead
+        )
+
+    def _drain(self, peer: ShardPeer) -> None:
+        """All-pairs rounds to quiescence, striding at this shard's
+        minimum incident pair period per round (see
+        :func:`drain_step`) instead of one grid window."""
+        lookahead = self.lookahead
+        while True:
+            nxt = self._exchange(peer)
+            if nxt is None:
+                break
+            floor = window_end(nxt, lookahead) - 1
+            peer.run_window(floor + self._drain_step - lookahead)
+            self.windows += 1
+
+    def run(self, peer: ShardPeer, horizon: int | None = None) -> None:
+        if horizon is None:
+            self._drain(peer)
+            return
+        sync = self.sync
+        index = self.index
+        frontier = -1
+        last_met = self._last_met
+        for t, i, j in rendezvous_schedule(self.pair_periods, horizon):
+            if index not in (i, j):
+                continue
+            if t <= last_met[(i, j)]:
+                continue  # met during an earlier run() call
+            if t - 1 > frontier:
+                peer.run_window(t - 1)
+                frontier = t - 1
+            other = j if index == i else i
+            conn = self.peer_conns[other]
+            sending = peer.take_outbox(other)
+            blob = pack_blob(sending)
+            if index < other:
+                conn.send_bytes(blob)
+                data = conn.recv_bytes()
+            else:
+                data = conn.recv_bytes()
+                conn.send_bytes(blob)
+            inbound = pickle.loads(data)
+            sync.rounds += 1
+            sync.bytes_sent += len(blob)
+            sync.bytes_received += len(data)
+            sync.records_sent += len(sending)
+            sync.records_received += len(inbound)
+            skipped = (t - last_met[(i, j)]) // self.lookahead - 1
+            if skipped > 0:
+                sync.windows_elided += skipped
+            last_met[(i, j)] = t
+            if inbound:
+                self.records_exchanged += len(inbound)
+                peer.inject(inbound)
+        if horizon > frontier:
+            peer.run_window(horizon)
+        peer.advance_to(horizon)

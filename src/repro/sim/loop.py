@@ -217,3 +217,117 @@ class EventLoop:
             f"EventLoop(now={self.clock.now}, pending={self.pending_events},"
             f" fired={self._events_fired})"
         )
+
+
+class KeyedEventLoop(EventLoop):
+    """An event loop whose same-tick tie-break is data, not call order.
+
+    The classic loop orders same-tick events by a monotone sequence
+    number, so the interleaving of barrier-injected hop records with
+    locally scheduled events depends on *when* records are injected.
+    The barrier-elision executor injects records at pair-specific
+    cadences (see :mod:`repro.sim.barrier`), so it needs a tie-break
+    that is a pure function of the simulation state instead:
+
+    - a **local** event scheduled while the clock sits in grid window
+      ``g`` gets key ``(g, 0, n)`` with ``n`` a per-loop monotone
+      counter — same relative order the classic loop would assign;
+    - a **hop record** produced in grid window ``g`` gets key
+      ``(g, 1, src, dst, wire_seq)`` — the canonical barrier order,
+      slotted after window-``g`` locals and before window-``g + 1``
+      events, exactly where the classic per-window barrier would have
+      injected it.
+
+    With these keys the heap order is independent of injection timing
+    (a record may arrive one window early or five windows late and
+    still lands in the same slot), which is what lets shard pairs skip
+    barriers without perturbing a single tie-break.
+    """
+
+    def __init__(self, grid: int, start: int = 0) -> None:
+        if grid < 1:
+            raise ValueError(f"grid must be >= 1, got {grid}")
+        super().__init__(start)
+        self._grid = grid
+
+    @property
+    def grid(self) -> int:
+        """The window-grid length keys are computed against."""
+        return self._grid
+
+    def call_at(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        if time < self.clock.now:
+            raise ClockError(
+                f"cannot schedule at {time}, clock already at {self.clock.now}"
+            )
+        queue = self._queue
+        n = queue._next_seq
+        queue._next_seq = n + 1
+        seq = (self.clock._now // self._grid, 0, n)
+        event = ScheduledEvent(time, seq, callback, args)
+        heappush(queue._heap, (time, seq, event))
+        queue._live += 1
+        return event
+
+    def call_after(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        if delay < 0:
+            raise ClockError(f"negative delay {delay}")
+        queue = self._queue
+        n = queue._next_seq
+        queue._next_seq = n + 1
+        now = self.clock._now
+        seq = (now // self._grid, 0, n)
+        event = ScheduledEvent(now + delay, seq, callback, args)
+        heappush(queue._heap, (now + delay, seq, event))
+        queue._live += 1
+        return event
+
+    def call_soon(
+        self,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        queue = self._queue
+        n = queue._next_seq
+        queue._next_seq = n + 1
+        now = self.clock._now
+        seq = (now // self._grid, 0, n)
+        event = ScheduledEvent(now, seq, callback, args)
+        heappush(queue._heap, (now, seq, event))
+        queue._live += 1
+        return event
+
+    def schedule_record(
+        self,
+        record: Any,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> ScheduledEvent:
+        """Schedule a hop-record delivery under its canonical key.
+
+        *record* is a :class:`~repro.sim.barrier.HopRecord` (duck-typed
+        to avoid the import cycle); the key is derived entirely from
+        its fields, so injecting the same records in any order — or at
+        any barrier — yields the same heap order.
+        """
+        time = record.arrival
+        if time < self.clock.now:
+            raise ClockError(
+                f"cannot schedule at {time}, clock already at {self.clock.now}"
+            )
+        queue = self._queue
+        seq = (record.gen, 1, record.src, record.dst, record.wire_seq)
+        event = ScheduledEvent(time, seq, callback, args)
+        heappush(queue._heap, (time, seq, event))
+        queue._live += 1
+        return event

@@ -54,8 +54,13 @@ from repro.kernel.kernel import Kernel
 from repro.net.network import ShardNetwork
 from repro.net.topology import MachineId, Topology
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
-from repro.sim.barrier import SerialBarrierRunner, WorkerBarrier
-from repro.sim.loop import EventLoop
+from repro.sim.barrier import (
+    ElidedSerialRunner,
+    ElidedWorkerBarrier,
+    SerialBarrierRunner,
+    WorkerBarrier,
+)
+from repro.sim.loop import EventLoop, KeyedEventLoop
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 
@@ -123,6 +128,11 @@ class ShardPlan:
 
     shards: tuple[tuple[MachineId, ...], ...]
     lookahead: int  #: conservative window length (min wire latency)
+    #: per wire-connected shard pair ``(i, j)`` with ``i < j``: the
+    #: exchange period in microseconds — the pair's minimum crossing
+    #: latency snapped down to the window grid.  Pairs no wire crosses
+    #: are absent and never rendezvous (topology-aware exchange).
+    pair_periods: dict[tuple[int, int], int]
     _shard_of: dict[MachineId, int]
 
     @classmethod
@@ -141,9 +151,24 @@ class ShardPlan:
             for index, group in enumerate(groups)
             for machine in group
         }
+        pair_min: dict[tuple[int, int], int] = {}
+        for wire in topology.wires():
+            si = shard_of[wire.src]
+            sj = shard_of[wire.dst]
+            if si == sj:
+                continue
+            pair = (si, sj) if si < sj else (sj, si)
+            prior = pair_min.get(pair)
+            if prior is None or wire.latency < prior:
+                pair_min[pair] = wire.latency
+        pair_periods = {
+            pair: max(lookahead, (latency // lookahead) * lookahead)
+            for pair, latency in sorted(pair_min.items())
+        }
         return cls(
             shards=tuple(tuple(g) for g in groups),
             lookahead=lookahead,
+            pair_periods=pair_periods,
             _shard_of=shard_of,
         )
 
@@ -180,7 +205,10 @@ class ShardRuntime:
         return self.shard.loop.next_event_time()
 
     def run_window(self, deadline: int) -> None:
-        self.shard.loop.run_until(deadline)
+        # A resumed elided run can revisit rendezvous ticks the drain
+        # already executed past; behind-the-clock deadlines are no-ops.
+        if deadline >= self.shard.loop.now:
+            self.shard.loop.run_until(deadline)
 
     def advance_to(self, time: int) -> None:
         if time > self.shard.loop.now:
@@ -188,6 +216,9 @@ class ShardRuntime:
 
     def drain_outboxes(self) -> dict[int, list["HopRecord"]]:
         return self.shard.network.take_outboxes()
+
+    def take_outbox(self, dest: int) -> list["HopRecord"]:
+        return self.shard.network.take_outbox(dest)
 
     def inject(self, records: list["HopRecord"]) -> None:
         receive = self.shard.network.receive_record
@@ -245,8 +276,12 @@ class ShardedSystem:
         self.shards: list[Shard] = []
         kernel_config = self.config.kernel_config()
         programs = registered_programs()
+        elision = self.config.barrier_elision
         for index, machines in enumerate(self.plan.shards):
-            loop = EventLoop()
+            loop: EventLoop = (
+                KeyedEventLoop(self.plan.lookahead) if elision
+                else EventLoop()
+            )
             tracer = Tracer(
                 (lambda _loop=loop: _loop.now),
                 max_records=self.config.max_trace_records,
@@ -264,6 +299,7 @@ class ShardedSystem:
                 faults=self.config.faults,
                 rto=self.config.rto,
                 metrics=metrics,
+                elide_grid=self.plan.lookahead if elision else None,
             )
             kernels = {
                 machine: Kernel(
@@ -290,10 +326,20 @@ class ShardedSystem:
                 )
             )
             self.shards.append(shard)
-        self._runner = SerialBarrierRunner(
-            [ShardRuntime(shard) for shard in self.shards],
-            self.plan.lookahead,
-        )
+        runtimes = [ShardRuntime(shard) for shard in self.shards]
+        if elision:
+            self._runner: SerialBarrierRunner | ElidedSerialRunner = (
+                ElidedSerialRunner(
+                    runtimes,
+                    self.plan.lookahead,
+                    self.plan.pair_periods,
+                    syncs=[shard.network.sync for shard in self.shards],
+                )
+            )
+        else:
+            self._runner = SerialBarrierRunner(
+                runtimes, self.plan.lookahead
+            )
         #: set once a forked execution has consumed this system
         self._forked = False
         if self.config.boot_servers:
@@ -527,6 +573,10 @@ class ShardedSystem:
         registry.counter(
             "sim.events_fired", shard=shard.index
         ).set_total(shard.loop.events_fired)
+        for name, value in shard.network.sync.as_dict().items():
+            registry.counter(
+                f"sim.sync.{name}", shard=shard.index
+            ).set_total(value)
 
     def kernels_in_machine_order(self) -> list[Kernel]:
         """Every kernel, ordered by machine id."""
@@ -618,9 +668,17 @@ def _forked_worker(
         for j, conn in conns.items():
             if i != index:
                 conn.close()
-    barrier = WorkerBarrier(
-        index, pair_conns[index], system.plan.lookahead
-    )
+    network = system.shards[index].network
+    if system.config.barrier_elision:
+        barrier: WorkerBarrier = ElidedWorkerBarrier(
+            index, pair_conns[index], system.plan.lookahead,
+            system.plan.pair_periods, sync=network.sync,
+        )
+    else:
+        barrier = WorkerBarrier(
+            index, pair_conns[index], system.plan.lookahead,
+            sync=network.sync,
+        )
     runtime = ShardRuntime(system.shards[index])
     barrier.run(runtime, horizon=until)
     barrier.run(runtime, horizon=None)

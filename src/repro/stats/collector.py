@@ -98,6 +98,9 @@ class SystemReport:
     per_machine_load: dict[int, int] = field(default_factory=dict)
     #: injected chaos faults by kind (empty when no campaign ran)
     chaos_faults: dict[str, int] = field(default_factory=dict)
+    #: barrier/sync traffic between shard workers (empty off the
+    #: sharded engine; a function of shard count, not of the workload)
+    sync_overhead: dict[str, int] = field(default_factory=dict)
     #: end-to-end request latency digest (None without a closed-loop run)
     request_latency: dict[str, Any] | None = None
     #: per-domain latency digests (empty unless the pool labels domains)
@@ -122,6 +125,14 @@ class SystemReport:
             f"link updates applied: {self.link_updates_applied} "
             f"({self.links_retargeted} links retargeted)",
         ]
+        if any(self.sync_overhead.values()):
+            sync = self.sync_overhead
+            out.append(
+                f"shard sync: {sync.get('rounds', 0)} barrier rounds, "
+                f"{sync.get('records_sent', 0)} records / "
+                f"{sync.get('bytes_sent', 0)} bytes shipped, "
+                f"{sync.get('windows_elided', 0)} windows elided"
+            )
         if self.chaos_faults:
             injected = ", ".join(
                 f"{count} {kind}"
@@ -171,6 +182,7 @@ class SystemReport:
                 for machine, load in self.per_machine_load.items()
             },
             "chaos_faults": dict(self.chaos_faults),
+            "sync_overhead": dict(self.sync_overhead),
             "request_latency": (
                 dict(self.request_latency)
                 if self.request_latency is not None
@@ -231,6 +243,11 @@ def report_from_snapshot(
             for kind, count in snapshot.by_label(
                 "chaos.faults", "kind"
             ).items()
+        },
+        sync_overhead={
+            name.removeprefix("sim.sync."): int(snapshot.total(name))
+            for name in sorted(snapshot.counters)
+            if name.startswith("sim.sync.")
         },
         request_latency=_latency_summary(snapshot),
         request_latency_by_domain=_latency_by_domain(snapshot),

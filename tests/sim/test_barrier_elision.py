@@ -1,0 +1,390 @@
+"""Barrier elision: keyed tie-breaks, rendezvous cadence, sync stats.
+
+The elided engine's claim is the classic determinism gate plus one
+more: with ``barrier_elision=True`` the gated counters are identical
+not only across shard counts but also to the classic engine on the
+same topology — the keyed event loop reproduces the classic injection
+order bitwise, so skipping barriers is unobservable in the simulation.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.errors import ClockError, ConfigError, SimulationError
+from repro.net.topology import Topology
+from repro.sim.barrier import (
+    HopRecord,
+    SyncStats,
+    WorkerBarrier,
+    merge_sorted_records,
+    pack_blob,
+    rendezvous_schedule,
+    sort_records,
+)
+from repro.sim.loop import EventLoop, KeyedEventLoop
+from repro.sim.shard import ShardedSystem, ShardPlan
+from repro.workloads.pingpong import echo_server, pinger
+from repro.workloads.results import ResultsBoard
+
+
+# ---------------------------------------------------------------------------
+# KeyedEventLoop units
+# ---------------------------------------------------------------------------
+
+
+class TestKeyedEventLoop:
+    def test_grid_must_be_positive(self):
+        with pytest.raises(ValueError, match="grid"):
+            KeyedEventLoop(0)
+
+    def test_locals_keep_schedule_order_within_a_window(self):
+        loop = KeyedEventLoop(10)
+        fired = []
+        loop.call_at(25, fired.append, "a")
+        loop.call_after(25, fired.append, "b")
+        loop.call_at(25, fired.append, "c")
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_records_slot_between_window_locals(self):
+        """The canonical slot: window-g locals, then window-g records,
+        then window-g+1 locals — regardless of injection order."""
+        loop = KeyedEventLoop(10)
+        fired = []
+        # Window-1 record injected *before* anything else exists.
+        loop.schedule_record(
+            HopRecord(25, 0, 1, 1, None, gen=1), fired.append, "rec-g1"
+        )
+        loop.schedule_record(
+            HopRecord(25, 0, 1, 2, None, gen=0), fired.append, "rec-g0-b"
+        )
+        loop.schedule_record(
+            HopRecord(25, 0, 1, 1, None, gen=0), fired.append, "rec-g0-a"
+        )
+        loop.call_at(25, fired.append, "local-g0")  # now=0 -> window 0
+        # Advance the clock into window 1, then schedule another local.
+        loop.call_at(12, loop.call_at, 25, fired.append, "local-g1")
+        loop.run()
+        assert fired == [
+            "local-g0", "rec-g0-a", "rec-g0-b", "local-g1", "rec-g1",
+        ]
+
+    def test_record_order_is_injection_order_free(self):
+        loop_a = KeyedEventLoop(10)
+        loop_b = KeyedEventLoop(10)
+        records = [
+            HopRecord(40, src, dst, seq, None, gen=2)
+            for src, dst, seq in [(3, 1, 1), (0, 1, 5), (0, 1, 2)]
+        ]
+        fired_a, fired_b = [], []
+        for r in records:
+            loop_a.schedule_record(r, fired_a.append, r)
+        for r in reversed(records):
+            loop_b.schedule_record(r, fired_b.append, r)
+        loop_a.run()
+        loop_b.run()
+        assert fired_a == fired_b == sort_records(records)
+
+    def test_schedule_record_rejects_past_arrivals(self):
+        loop = KeyedEventLoop(10)
+        loop.call_at(50, lambda: None)
+        loop.run()
+        with pytest.raises(ClockError):
+            loop.schedule_record(
+                HopRecord(25, 0, 1, 1, None), lambda: None
+            )
+
+
+# ---------------------------------------------------------------------------
+# Schedule / merge helpers
+# ---------------------------------------------------------------------------
+
+
+class TestRendezvousSchedule:
+    def test_pairs_meet_at_their_own_cadence(self):
+        schedule = rendezvous_schedule({(0, 1): 2, (1, 2): 3}, 6)
+        assert schedule == [
+            (2, 0, 1), (3, 1, 2), (4, 0, 1), (6, 0, 1), (6, 1, 2),
+        ]
+
+    def test_empty_before_first_period(self):
+        assert rendezvous_schedule({(0, 1): 1000}, 999) == []
+
+
+class TestMergeSortedRecords:
+    def test_merge_equals_sorted_concatenation(self):
+        a = sort_records([
+            HopRecord(30, 0, 4, 1, None),
+            HopRecord(10, 1, 4, 2, None),
+            HopRecord(10, 1, 4, 1, None),
+        ])
+        b = sort_records([
+            HopRecord(10, 2, 5, 1, None),
+            HopRecord(20, 0, 5, 1, None),
+        ])
+        assert merge_sorted_records([a, b]) == sort_records(a + b)
+
+
+class TestPackBlob:
+    def test_roundtrip(self):
+        record = HopRecord(10, 0, 1, 1, "payload", gen=3)
+        assert pickle.loads(pack_blob([record])) == [record]
+
+
+# ---------------------------------------------------------------------------
+# Plan / config wiring
+# ---------------------------------------------------------------------------
+
+
+class TestPairPeriods:
+    def test_backbone_pairs_get_coarse_periods(self):
+        config = SystemConfig(
+            machines=8, topology="torus", latency=1_000,
+            backbone_latency=4_000, shards=2,
+        )
+        plan = ShardPlan.build(config, config.build_topology())
+        assert plan.lookahead == 1_000
+        assert plan.pair_periods == {(0, 1): 4_000}
+
+    def test_uniform_latency_degenerates_to_the_window_grid(self):
+        config = SystemConfig(
+            machines=8, topology="torus", latency=1_000, shards=2,
+        )
+        plan = ShardPlan.build(config, config.build_topology())
+        assert plan.pair_periods == {(0, 1): 1_000}
+
+    def test_wireless_pairs_are_absent(self):
+        # 4x4 torus in 4 one-row shards: rows form a ring, so shards
+        # 0-2 and 1-3 share no wire and must never rendezvous.
+        config = SystemConfig(
+            machines=16, topology="torus", latency=1_000, shards=4,
+        )
+        plan = ShardPlan.build(config, config.build_topology())
+        assert set(plan.pair_periods) == {
+            (0, 1), (1, 2), (2, 3), (0, 3),
+        }
+
+    def test_period_snaps_down_to_the_grid(self):
+        config = SystemConfig(
+            machines=8, topology="torus", latency=1_000,
+            backbone_latency=2_500, shards=2,
+        )
+        plan = ShardPlan.build(config, config.build_topology())
+        assert plan.pair_periods == {(0, 1): 2_000}
+
+
+class TestConfigValidation:
+    def test_backbone_needs_a_backbone_topology(self):
+        with pytest.raises(ConfigError, match="backbone"):
+            SystemConfig(
+                machines=8, topology="mesh", backbone_latency=500,
+            ).validate()
+
+    def test_backbone_slower_than_local_wires(self):
+        with pytest.raises(ConfigError, match="backbone_latency"):
+            SystemConfig(
+                machines=8, topology="torus", latency=1_000,
+                backbone_latency=500,
+            ).validate()
+
+    def test_elision_needs_nonzero_latency(self):
+        with pytest.raises(ConfigError, match="elision"):
+            SystemConfig(
+                machines=4, latency=0, barrier_elision=True,
+            ).validate()
+
+    def test_elision_needs_a_keyed_loop(self):
+        from repro.net.network import ShardNetwork
+
+        with pytest.raises(SimulationError, match="KeyedEventLoop"):
+            ShardNetwork(
+                EventLoop(), Topology.line(2, latency=100),
+                shard_index=0, shard_of=lambda m: 0, machines=[0, 1],
+                elide_grid=100,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Satellite: WorkerBarrier error paths
+# ---------------------------------------------------------------------------
+
+
+class _StubPeer:
+    """Just enough ShardPeer for exercising barrier error paths."""
+
+    def __init__(self, outboxes):
+        self._outboxes = outboxes
+        self.injected = []
+
+    def next_event_time(self):
+        return None
+
+    def run_window(self, deadline):
+        raise AssertionError("should not run")
+
+    def advance_to(self, time):
+        pass
+
+    def drain_outboxes(self):
+        out, self._outboxes = self._outboxes, {}
+        return out
+
+    def take_outbox(self, dest):
+        return self._outboxes.pop(dest, [])
+
+    def inject(self, records):
+        self.injected.extend(records)
+
+
+class TestWorkerBarrierErrors:
+    def test_unknown_destination_shard_is_an_error(self):
+        barrier = WorkerBarrier(0, {}, 1_000)
+        peer = _StubPeer({5: [HopRecord(10, 0, 1, 1, None)]})
+        with pytest.raises(RuntimeError, match=r"unknown\s+shards \[5\]"):
+            barrier._exchange(peer)
+
+    def test_own_shard_records_loop_back_without_a_pipe(self):
+        record = HopRecord(10, 0, 1, 1, None)
+        barrier = WorkerBarrier(0, {}, 1_000)
+        peer = _StubPeer({0: [record]})
+        assert barrier._exchange(peer) == 10
+        assert peer.injected == [record]
+
+    def test_dead_worker_is_diagnosed_not_hung(self):
+        """A worker that dies mid-exchange (unpicklable cross-shard
+        payload) must surface as SimulationError with exit codes, not
+        deadlock its peers."""
+        system = _build_pingpong(shards=2, elide=False, backbone=None)
+        # A payload closure over a generator cannot cross the pipe.
+        gen = (x for x in range(3))
+        system.schedule_spawn(
+            40_000, 0,
+            lambda ctx: _poison_sender(ctx, gen),
+            name="poison",
+        )
+        with pytest.raises(SimulationError, match="died.*exit codes"):
+            system.execute(
+                300_000, lambda shard: None, executor="fork",
+            )
+
+
+def _poison_sender(ctx, payload):
+    # Machine 0 is in shard 0; the "e7" server is on machine 7 in
+    # shard 1 for the 8-machine 2-shard split, so this message must
+    # cross the worker pipe — and a generator payload cannot pickle.
+    from repro.servers.common import lookup_service
+
+    service = yield from lookup_service(ctx, "e7")
+    yield ctx.send(service, op="poison", payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end parity
+# ---------------------------------------------------------------------------
+
+
+def _build_pingpong(shards, elide, backbone, machines=8):
+    system = ShardedSystem(SystemConfig(
+        machines=machines, topology="torus", latency=1_000,
+        shards=shards, trace_categories=(), metrics_enabled=False,
+        barrier_elision=elide, backbone_latency=backbone,
+    ))
+    boards = [ResultsBoard() for _ in system.shards]
+    for m in range(machines):
+        system.spawn(
+            lambda ctx, _m=m: echo_server(ctx, service_name=f"e{_m}"),
+            machine=m,
+        )
+    for m in range(machines):
+        client = (m + 3) % machines
+        board = boards[system.plan.shard_of(client)]
+        system.schedule_spawn(
+            10_000 + 700 * m, client,
+            lambda ctx, _m=m, _b=board: pinger(
+                ctx, service_name=f"e{_m}", rounds=6,
+                payload_bytes=32, gap=1_000, board=_b, key="ping",
+            ),
+        )
+    return system
+
+
+def _collect(shard):
+    kstats = [shard.kernels[m].stats for m in shard.machines]
+    return {
+        "delivered": sum(s.messages_delivered for s in kstats),
+        "spawned": sum(s.processes_spawned for s in kstats),
+        "packets": shard.network.stats.packets_sent,
+        "wire_bytes": shard.network.stats.bytes_sent,
+        "events": shard.loop.events_fired,
+    }
+
+
+def _run(shards, elide, backbone, executor=None, until=300_000):
+    system = _build_pingpong(shards, elide, backbone)
+    executor = executor or ("serial" if shards == 1 else "fork")
+    parts = system.execute(
+        until,
+        lambda shard: (_collect(shard), shard.network.sync.as_dict()),
+        executor=executor,
+    )
+    merged = {
+        key: sum(part[0][key] for part in parts) for key in parts[0][0]
+    }
+    sync = {
+        key: sum(part[1][key] for part in parts) for key in parts[0][1]
+    }
+    return merged, sync
+
+
+class TestElisionParity:
+    def test_elided_counters_match_classic_uniform_latency(self):
+        reference, _ = _run(1, False, None)
+        assert _run(1, True, None)[0] == reference
+        assert _run(2, True, None)[0] == reference
+
+    def test_elided_counters_match_classic_backbone(self):
+        reference, _ = _run(1, False, 4_000)
+        assert _run(2, False, 4_000)[0] == reference
+        assert _run(1, True, 4_000)[0] == reference
+        assert _run(2, True, 4_000)[0] == reference
+
+    def test_serial_and_fork_elided_agree(self):
+        serial, serial_sync = _run(2, True, 4_000, executor="serial")
+        fork, fork_sync = _run(2, True, 4_000, executor="fork")
+        assert serial == fork
+        # The schedule-derived stats are executor-exact; byte counts
+        # are executor-faithful (serial shares one object graph across
+        # shards, so pickled sizes can drift a fraction of a percent).
+        for key in ("rounds", "records_sent", "records_received",
+                    "windows_elided"):
+            assert serial_sync[key] == fork_sync[key]
+        assert serial_sync["bytes_sent"] == pytest.approx(
+            fork_sync["bytes_sent"], rel=0.01
+        )
+
+    def test_elision_actually_elides(self):
+        _, classic_sync = _run(2, False, 4_000)
+        _, elided_sync = _run(2, True, 4_000)
+        assert elided_sync["windows_elided"] > 0
+        assert elided_sync["rounds"] < classic_sync["rounds"] * 0.8
+
+    def test_resumed_horizons_match_a_single_run(self):
+        single = _run(2, True, 4_000, executor="serial")[0]
+        system = _build_pingpong(2, True, 4_000)
+        system.run(until=140_000)
+        system.run(until=300_000)
+        system.drain()
+        resumed = {
+            key: sum(
+                _collect(shard)[key] for shard in system.shards
+            )
+            for key in ("delivered", "spawned", "packets",
+                        "wire_bytes", "events")
+        }
+        assert resumed == single
+
+    def test_shards_1_elided_never_packs_a_blob(self):
+        _, sync = _run(1, True, 4_000)
+        assert sync == SyncStats().as_dict()

@@ -299,7 +299,15 @@ class TestForkExecution:
 
             merged = merge_snapshots([r[0] for r in results])
             return (
-                {name: merged.total(name) for name in merged.counters},
+                {
+                    name: merged.total(name)
+                    for name in merged.counters
+                    # sync overhead counts barrier traffic between
+                    # workers — real work, but by construction a
+                    # function of the shard count (shards=1 has no
+                    # peers), so it is not part of the parity set
+                    if not name.startswith("sim.sync.")
+                },
                 sum(r[1] for r in results),
             )
 

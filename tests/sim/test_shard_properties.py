@@ -225,3 +225,73 @@ class TestMigrationMidRequest:
         summary = board.only("p-summary")
         assert summary["rounds"] == rounds
         assert system.where_is(pid) == 3
+
+
+class TestElisionOrderEquivalence:
+    """Satellite claim of the barrier-elision engine: for any topology
+    and shard count, the two-level rendezvous schedule delivers every
+    hop record to every machine in exactly the order the classic
+    global-grid barrier would — bitwise, per machine."""
+
+    @BOUNDED
+    @given(
+        shape=st.sampled_from([
+            ("torus", 8, 2, None),
+            ("torus", 8, 2, 4_000),
+            ("torus", 16, 4, 2_000),
+            ("torus", 16, 4, None),
+            ("cliques", 8, 2, 3_000),
+            ("cliques", 16, 4, 2_000),
+            ("mesh", 8, 2, None),
+        ]),
+        faults=fault_plans,
+        seed=seeds,
+    )
+    def test_elided_delivery_order_matches_classic(
+        self, shape, faults, seed,
+    ):
+        topology, machines, shards, backbone = shape
+
+        def run(shard_count, elide):
+            system = ShardedSystem(SystemConfig(
+                machines=machines, topology=topology, latency=1_000,
+                shards=shard_count, backbone_latency=backbone,
+                barrier_elision=elide, faults=faults, seed=seed,
+                trace_categories=(), metrics_enabled=False,
+            ))
+            deliveries = {m: [] for m in range(machines)}
+
+            def record_hook(record):
+                packet = record.packet
+                deliveries[record.dst].append((
+                    record.arrival, record.src, record.dst,
+                    record.wire_seq, packet.kind.value, packet.seq,
+                    packet.payload_bytes,
+                ))
+
+            for shard in system.shards:
+                shard.network.on_record_delivered = record_hook
+            for m in range(machines):
+                system.spawn(
+                    lambda ctx, _m=m: echo_server(
+                        ctx, service_name=f"svc-{_m}",
+                    ),
+                    machine=m,
+                )
+            for m in range(0, machines, 2):
+                client = (m + 3) % machines
+                system.schedule_spawn(
+                    5_000 + 900 * m, client,
+                    lambda ctx, _m=m: pinger(
+                        ctx, service_name=f"svc-{_m}", rounds=3,
+                        gap=2_000, board=ResultsBoard(), key="p",
+                    ),
+                )
+            system.run(until=250_000)
+            system.drain()
+            return deliveries
+
+        classic = run(1, elide=False)
+        assert run(shards, elide=True) == classic
+        # and the classic engine's own parity, with the hook attached
+        assert run(shards, elide=False) == classic
