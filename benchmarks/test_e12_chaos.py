@@ -30,15 +30,19 @@ from conftest import print_table, write_bench_artifact
 from repro.chaos import SCENARIOS, run_campaign
 
 #: per-scenario system sizes, pinned as run identity in the artifact
-MACHINES = {"crash": 8, "partition": 8, "evacuate": 8, "storm_parity": 8}
+MACHINES = {
+    "crash": 8, "partition": 8, "evacuate": 8, "fileserver_crash": 8,
+    "storm_parity": 8, "crash_parity": 8,
+}
 MACHINES_FULL = {
-    "crash": 12, "partition": 8, "evacuate": 8, "storm_parity": 16,
+    "crash": 12, "partition": 8, "evacuate": 8, "fileserver_crash": 8,
+    "storm_parity": 16, "crash_parity": 16,
 }
 
 #: per-scenario RNG seeds (see ``repro.chaos.campaign``)
 SEEDS = {
     "crash": 1983, "partition": 1984, "evacuate": 1985,
-    "storm_parity": 1986,
+    "storm_parity": 1986, "fileserver_crash": 1987, "crash_parity": 1988,
 }
 
 
@@ -93,8 +97,12 @@ def _campaign_and_report(scale: str, name: str) -> None:
     assert counters["partition.casualties"] == 0
     assert counters["evacuate.draining_refusals"] >= 1
     assert counters["evacuate.casualties"] == 0
+    assert counters["fileserver_crash.file_errors"] == 0
+    assert counters["fileserver_crash.recovered"] >= 1
     assert counters["storm_parity.faults.storm-move"] >= 1
     assert counters["storm_parity.messages_forwarded"] >= 1
+    assert counters["crash_parity.recovered"] >= 1
+    assert counters["crash_parity.pingers_done"] >= 2
     for scenario in SCENARIOS:
         assert counters.get(f"{scenario}.reply_mismatches", 0) == 0
 

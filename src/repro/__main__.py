@@ -11,6 +11,11 @@ Commands:
 - ``chaos``       — run the chaos campaign (scripted crashes,
                     partitions, evacuations, migration storms) and gate
                     the survivor invariants; non-zero exit on violation;
+- ``fuzz``        — draw seeded random chaos schedules, run each under
+                    live traffic (sharded draws engine-parity checked),
+                    shrink violations to replayable repro files
+                    (``--out``); ``--replay`` re-runs a repro file;
+                    non-zero exit on violation;
 - ``slo``         — run the queue-depth vs latency-aware balancer
                     head-to-head under an open-loop burst and print
                     each policy's tail latency (``--json`` for the raw
@@ -320,6 +325,63 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Fuzz random chaos schedules; replay repro files."""
+    from repro.chaos import replay, run_fuzz
+
+    if args.replay is not None:
+        outcome = replay(args.replay, budget=args.budget)
+        schedule = outcome.schedule
+        if args.json:
+            print(json.dumps({
+                "replay": args.replay,
+                "seed": schedule.seed,
+                "index": schedule.index,
+                "counters": outcome.counters,
+                "problems": outcome.problems,
+                "ok": outcome.ok,
+            }, indent=2, sort_keys=True))
+        else:
+            verdict = "ok" if outcome.ok else "VIOLATION"
+            print(f"[replay {args.replay}] {verdict} "
+                  f"(seed {schedule.seed}, index {schedule.index})")
+            for problem in outcome.problems:
+                print(f"  {problem}")
+        return 0 if outcome.ok else 1
+
+    report = run_fuzz(
+        seed=args.seed, runs=args.runs, budget=args.budget,
+        out_dir=args.out,
+    )
+    if args.json:
+        print(json.dumps({
+            "seed": report.seed,
+            "runs": report.runs,
+            "digests": report.digests,
+            "violations": [
+                {
+                    "index": outcome.schedule.index,
+                    "problems": outcome.problems,
+                }
+                for outcome in report.violations
+            ],
+            "repro_paths": report.repro_paths,
+            "ok": report.ok,
+        }, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(f"fuzz: seed {report.seed}, {report.runs} schedules, "
+          f"{len(report.violations)} violation(s)")
+    for outcome in report.violations:
+        print(f"  schedule {outcome.schedule.index}:")
+        for problem in outcome.problems:
+            print(f"    {problem}")
+    for path in report.repro_paths:
+        print(f"  repro written: {path}")
+    if report.ok:
+        print("all schedules held the survivor invariants")
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one migration (plus a stale-link probe) and export the trace."""
     from repro.kernel.ids import ProcessAddress
@@ -449,7 +511,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     chaos.add_argument(
         "--scenario", action="append",
-        choices=("crash", "partition", "evacuate", "storm_parity"),
+        choices=("crash", "partition", "evacuate", "fileserver_crash",
+                 "storm_parity", "crash_parity"),
         help="run only this scenario (repeatable; default: all)",
     )
     chaos.add_argument(
@@ -457,6 +520,37 @@ def main(argv: list[str] | None = None) -> int:
         help="emit counters, ledger sizes and problems as JSON",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz random chaos schedules, gate every invariant",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; schedule i under a seed is stable forever "
+             "(default: 0)",
+    )
+    fuzz.add_argument(
+        "--runs", type=int, default=10,
+        help="number of schedules to draw and run (default: 10)",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=2_000_000,
+        help="event budget per classic run; exhausting it is itself a "
+             "violation (default: 2000000)",
+    )
+    fuzz.add_argument(
+        "--out", default=None,
+        help="directory for shrunk repro files of violating schedules",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="REPRO",
+        help="re-run one repro file instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true",
+        help="emit digests, violations and repro paths as JSON",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     trace = sub.add_parser(
         "trace", help="run a migration, export Chrome trace-event JSON",

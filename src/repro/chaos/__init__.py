@@ -24,6 +24,20 @@ from repro.chaos.campaign import (
     run_campaign,
 )
 from repro.chaos.engine import ChaosEngine, FaultEvent
+from repro.chaos.fuzz import (
+    ActionSpec,
+    FuzzOutcome,
+    FuzzReport,
+    FuzzSchedule,
+    generate_schedule,
+    load_repro,
+    replay,
+    run_fuzz,
+    run_schedule,
+    shrink,
+    validate_schedule,
+    write_repro,
+)
 from repro.chaos.invariants import (
     check_chain_collapse,
     check_exactly_once,
@@ -45,6 +59,7 @@ from repro.chaos.scenario import (
 
 __all__ = [
     "SCENARIOS",
+    "ActionSpec",
     "CampaignResult",
     "ChaosEngine",
     "ChaosScenario",
@@ -52,6 +67,9 @@ __all__ = [
     "Evacuation",
     "FaultEvent",
     "FlakyLinks",
+    "FuzzOutcome",
+    "FuzzReport",
+    "FuzzSchedule",
     "MigrationStorm",
     "Move",
     "Partition",
@@ -62,7 +80,15 @@ __all__ = [
     "check_no_stranded_forwarding",
     "check_quiescence",
     "check_recovery_state",
+    "generate_schedule",
     "ledger_digest",
+    "load_repro",
+    "replay",
     "run_campaign",
+    "run_fuzz",
+    "run_schedule",
+    "shrink",
     "survivor_invariants",
+    "validate_schedule",
+    "write_repro",
 ]

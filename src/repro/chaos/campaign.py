@@ -19,9 +19,19 @@ Scenarios:
 - ``evacuate`` — a machine is drained (maintenance): its residents
   migrate off, inbound migrations are refused, and the scheduled kill
   finds the machine empty — zero casualties, zero recoveries.
+- ``fileserver_crash`` — the paper's hardest demo inverted: instead of
+  migrating the file server mid-I/O, its machine fail-stops mid-request
+  under a mixed echo + verified file workload; stable storage recovers
+  it on the executor and every read-after-write stream finishes with
+  zero corruption.
 - ``storm_parity`` — a forced migration storm over a lossy torus, run
   under ``shards=1`` and ``shards=N`` on the serial executor; every
   merged counter and the fault ledger must be byte-identical.
+- ``crash_parity`` — storms plus grid-aligned fail-stop crashes, run
+  three ways (classic engine, ``shards=1``, ``shards=2``; the full
+  scale adds ``shards=4``): barrier-aligned crash recovery must leave
+  every merged counter and the fault ledger byte-identical across all
+  engines.
 
 Each scenario ends the same way: drain to quiescence, one forwarding
 GC sweep, a two-round probe pinger per service (the behavioral §4
@@ -404,6 +414,102 @@ def run_evacuation_scenario(scale: str = "smoke") -> ScenarioOutcome:
 
 
 # ---------------------------------------------------------------------
+# Scenario: fileserver_crash (fail-stop the file server mid-request)
+# ---------------------------------------------------------------------
+
+
+def run_fileserver_crash_scenario(scale: str = "smoke") -> ScenarioOutcome:
+    """The file server's machine fail-stops while clients are mid-I/O.
+
+    An echo pool and verified read-after-write file streams run
+    together; the crash lands inside the file streams, so requests in
+    flight to the file server cross the failure.  Stable storage
+    recovers the server (files and open handles are process state) on
+    the executor, the transport redirect carries the streams there, and
+    the gate is the paper's: zero corruption, zero lost operations.
+    """
+    from repro.workloads.file_clients import file_io_client
+
+    outcome = ScenarioOutcome("fileserver_crash")
+    machines = 8
+    if scale == "full":
+        clients, requests = 12, 8
+        file_clients, operations = 4, 8
+    else:
+        clients, requests = 6, 4
+        file_clients, operations = 3, 6
+    system = System(SystemConfig(machines=machines, seed=1987))
+    fs_machine = system.config.file_system_machine
+    pids = _spawn_servers(system, [3, 4], "fsx-echo")
+    services = list(pids)
+    # No workload client may live on the crash victim: fail-stop
+    # abandons the dead machine's unacked sends, so a recovered mid-RPC
+    # client could wait forever on a request that died with the machine.
+    pool = ClientPool(
+        system,
+        ClosedLoopConfig(
+            clients=clients,
+            requests_per_client=requests,
+            mean_think_us=8_000,
+            start_at=2_000,
+        ),
+        services=services,
+        machines=tuple(
+            m for m in range(machines) if m != fs_machine
+        ),
+    )
+    pool.install()
+    fboard = ResultsBoard()
+    for tag in range(file_clients):
+        system.loop.call_at(
+            4_000 + 1_000 * tag,
+            lambda _t=tag: system.spawn(
+                lambda ctx, _g=_t: file_io_client(
+                    ctx, tag=_g, operations=operations,
+                    gap=2_000, board=fboard, key=f"file-{_g}",
+                ),
+                machine=5 + (_t % (machines - 5)),
+                name=f"file-client-{_t}",
+            ),
+        )
+    scenario = ChaosScenario(
+        "fileserver_crash",
+        (CrashMachine(at=20_000, machine=fs_machine, executor=2),),
+    )
+    engine = ChaosEngine(system, scenario)
+    engine.install()
+    _finish_classic(system, engine, pool, services, outcome)
+
+    streams_done = 0
+    file_errors = 0
+    for tag in range(file_clients):
+        for summary in fboard.get(f"file-{tag}"):
+            streams_done += 1
+            file_errors += len(summary["errors"])
+            if summary["errors"]:
+                outcome.problems.append(
+                    f"file client {tag} saw errors: "
+                    f"{summary['errors']}"
+                )
+            if len(summary["latencies"]) != operations:
+                outcome.problems.append(
+                    f"file client {tag} lost operations: "
+                    f"{len(summary['latencies'])}/{operations}"
+                )
+    outcome.counters["file_streams_done"] = streams_done
+    outcome.counters["file_errors"] = file_errors
+    if streams_done != file_clients:
+        outcome.problems.append(
+            f"{streams_done}/{file_clients} file streams completed"
+        )
+    if outcome.counters["recovered"] < 1:
+        outcome.problems.append(
+            "the file server was not recovered — the crash missed it"
+        )
+    return outcome
+
+
+# ---------------------------------------------------------------------
 # Scenario: storm parity (sharded vs serial, byte-identical)
 # ---------------------------------------------------------------------
 
@@ -556,6 +662,191 @@ def run_storm_parity_scenario(scale: str = "smoke") -> ScenarioOutcome:
 
 
 # ---------------------------------------------------------------------
+# Scenario: crash parity (fail-stop crashes, classic vs sharded)
+# ---------------------------------------------------------------------
+
+
+def _run_crash_parity_once(
+    scale: str, shards: int
+) -> tuple[dict[str, int], list[FaultEvent], list[str]]:
+    """One engine variant of the crash-parity scenario.
+
+    ``shards=0`` builds the classic single-loop :class:`System`;
+    anything else builds a :class:`ShardedSystem`.  The schedule is a
+    storm that pushes servers onto doomed machines, then grid-aligned
+    fail-stop crashes of those machines — the barrier-action path on
+    the sharded engine, the ``loop.call_at`` path on the classic one.
+    """
+    # The storm's migrations take ~27ms each (process image over a
+    # 1,000 bytes/ms wire); the crashes wait until the servers have
+    # demonstrably landed on the doomed machines.
+    if scale == "full":
+        machines, rounds = 16, 10
+        placements = [2, 3, 6, 7]
+        dests = [5, 9, 10, 11]
+        crashes = ((56_000, 5, 4), (72_000, 9, 8))
+    else:
+        machines, rounds = 8, 8
+        placements = [2, 3]
+        dests = [5, 6]
+        crashes = ((56_000, 5, 4),)
+    config = SystemConfig(
+        machines=machines,
+        topology="torus",
+        latency=1_000,
+        shards=shards or 1,
+        seed=1988,
+        trace_categories=(),
+        metrics_enabled=False,
+    )
+    system: Any = ShardedSystem(config) if shards else System(config)
+    pids = _spawn_servers(system, placements, "cpar-echo")
+    services = list(pids)
+    engine = ChaosEngine(system, ChaosScenario("crash_parity", (
+        MigrationStorm(at=18_037, moves=tuple(
+            Move(pid=pids[name], home=placements[i], dest=dests[i])
+            for i, name in enumerate(services)
+        )),
+    ) + tuple(
+        CrashMachine(at=at, machine=machine, executor=executor)
+        for at, machine, executor in crashes
+    )))
+    engine.install()
+
+    boards = (
+        [ResultsBoard() for _ in system.shards]
+        if shards else [ResultsBoard()]
+    )
+    # Pinger clients live on the low machines — never on a crash victim
+    # (fail-stop abandons the victim's unacked sends; see the fuzzer's
+    # generator for the same rule).
+    for j, service in enumerate(services):
+        client = j % 4
+        at = 10_037 + 500 * j
+        if shards:
+            board = boards[system.plan.shard_of(client)]
+        else:
+            board = boards[0]
+
+        def spawn(_s=service, _j=j, _c=client, _b=board):
+            system.spawn(
+                lambda ctx: pinger(
+                    ctx, service_name=_s, rounds=rounds, gap=8_000,
+                    board=_b, key=f"ping-{_j}",
+                ),
+                machine=_c, name=f"pinger-{_j}",
+            )
+
+        if shards:
+            system.call_at(at, client, spawn)
+        else:
+            system.loop.call_at(at, spawn)
+
+    problems: list[str] = []
+    if shards:
+        system.drain()
+        kernels = system.kernels_in_machine_order()
+        packets = sum(
+            shard.network.stats.packets_sent for shard in system.shards
+        )
+    else:
+        fired = system.run(max_events=MAX_EVENTS)
+        if fired >= MAX_EVENTS:
+            raise RuntimeError("crash-parity run did not quiesce")
+        kernels = list(system.kernels)
+        packets = system.network.stats.packets_sent
+
+    counters = {
+        "processes_spawned": sum(
+            k.stats.processes_spawned for k in kernels
+        ),
+        "messages_delivered": sum(
+            k.stats.messages_delivered for k in kernels
+        ),
+        "messages_forwarded": sum(
+            k.stats.messages_forwarded for k in kernels
+        ),
+        "link_updates_applied": sum(
+            k.stats.link_updates_applied for k in kernels
+        ),
+        "forwarding_entries": sum(
+            len(k.forwarding) for k in kernels if not k.crashed
+        ),
+        "packets_sent": packets,
+        "recovered": sum(
+            len(r.recovered) for r in engine.crash_reports
+        ),
+        "casualties": sum(
+            len(r.casualties) for r in engine.crash_reports
+        ),
+    }
+    for kind, count in sorted(engine.counts.items()):
+        counters[f"faults.{kind}"] = count
+    ledger = engine.ledger()
+    counters["ledger_events"] = len(ledger)
+    counters["ledger_digest"] = ledger_digest(ledger)
+
+    problems += survivor_invariants(system, recovery=engine.recovery)
+    completed = 0
+    for board in boards:
+        for j in range(len(services)):
+            for summary in board.get(f"ping-{j}-summary"):
+                completed += 1
+                echoes = [t["echo"] for t in summary["transcript"]]
+                if echoes != [{"round": r} for r in range(rounds)]:
+                    problems.append(
+                        f"pinger {j} saw replies {echoes} — not "
+                        f"exactly-once in order"
+                    )
+    counters["pingers_done"] = completed
+    if completed != len(services):
+        problems.append(f"{completed}/{len(services)} pingers completed")
+    return counters, ledger, problems
+
+
+def run_crash_parity_scenario(scale: str = "smoke") -> ScenarioOutcome:
+    """Fail-stop crashes under traffic, byte-identical on every engine.
+
+    The classic engine interprets crash times with ``loop.call_at``;
+    the sharded engine fires them as barrier actions between windows.
+    Both must produce the same counters and the same fault ledger for
+    every shard count — the sharded-crash parity argument, gated.
+    """
+    outcome = ScenarioOutcome("crash_parity")
+    variants = (0, 1, 2, 4) if scale == "full" else (0, 1, 2)
+    reference: dict[str, int] = {}
+    ref_ledger: list[FaultEvent] = []
+    for shards in variants:
+        label = f"shards={shards}" if shards else "classic"
+        counters, ledger, problems = _run_crash_parity_once(scale, shards)
+        outcome.problems += [f"({label}) {p}" for p in problems]
+        if not shards:
+            reference, ref_ledger = counters, ledger
+            outcome.counters = dict(counters)
+            outcome.counters["variants"] = len(variants)
+            outcome.ledger = ledger
+            continue
+        if counters != reference:
+            diverged = {
+                key: (reference.get(key), counters.get(key))
+                for key in set(reference) | set(counters)
+                if reference.get(key) != counters.get(key)
+            }
+            outcome.problems.append(
+                f"classic vs {label} counters diverged: {diverged}"
+            )
+        if ledger != ref_ledger:
+            outcome.problems.append(
+                f"classic vs {label} fault ledgers diverged"
+            )
+    if outcome.counters.get("recovered", 0) < 1:
+        outcome.problems.append(
+            "crashes recovered nothing — the storm missed the victims"
+        )
+    return outcome
+
+
+# ---------------------------------------------------------------------
 # The campaign
 # ---------------------------------------------------------------------
 
@@ -563,7 +854,9 @@ SCENARIOS = {
     "crash": run_crash_scenario,
     "partition": run_partition_scenario,
     "evacuate": run_evacuation_scenario,
+    "fileserver_crash": run_fileserver_crash_scenario,
     "storm_parity": run_storm_parity_scenario,
+    "crash_parity": run_crash_parity_scenario,
 }
 
 

@@ -8,9 +8,21 @@ ledger of what actually happened (:class:`FaultEvent`).  Identical
 scenario + identical system config ⇒ identical ledger, byte for byte —
 the property the campaign gates and the Hypothesis suite fuzzes.
 
-Sharded systems get the shard-safe subset only (migration storms):
-crash recovery and transport surgery need a global network, and
-:class:`~repro.net.network.ShardNetwork` refuses them by design.  The
+Sharded systems get the shard-safe subset (storms, fail-stop crashes,
+evacuations).  Crashes and maintenance kills are *global* actions — the
+recovery sequence mutates several shards at once — so the engine
+schedules them through
+:meth:`~repro.sim.shard.ShardedSystem.call_at_barrier`: they become
+barrier-aligned records, fired between windows in pure-data key order
+(kind, machine, executor), with every shard clock frozen at the crash
+instant.  That requires their times to sit on the window grid and to be
+unique among the scenario's action times — the classic engine runs a
+crash first at its tick because it is scheduled at install time (lowest
+sequence number), and the barrier engine runs it before the window that
+contains it; distinct times keep the two orderings identical, which the
+crash-parity gates check byte for byte.  Partitions and flaky windows
+stay classic-only (they rewrite wire fault plans retroactively, which
+:class:`~repro.net.network.ShardNetwork` refuses by design).  The
 ledger is kept in the driving process, so sharded scenarios must run
 under the serial executor (the same constraint as cross-shard live
 migration).
@@ -72,11 +84,14 @@ class ChaosEngine:
         scenario.validate(len(system.topology.machines))
         if self.sharded and not scenario.shard_safe:
             raise SimulationError(
-                f"scenario {scenario.name!r} uses actions that need a "
-                f"global network (crash/partition/flaky links); only "
-                f"migration storms run under sharding"
+                f"scenario {scenario.name!r} uses actions that rewrite "
+                f"wire fault plans (partition/flaky links), which the "
+                f"sharded network refuses; storms, crashes and "
+                f"evacuations run under sharding"
             )
-        if recovery is None and not self.sharded:
+        if self.sharded:
+            self._check_sharded_schedule()
+        if recovery is None:
             recovery = CrashRecoveryManager(system)
         self.recovery = recovery
         self.events: list[FaultEvent] = []
@@ -88,6 +103,41 @@ class ChaosEngine:
     # Wiring
     # ------------------------------------------------------------------
 
+    def _check_sharded_schedule(self) -> None:
+        """Validate barrier-action times (see the module docstring)."""
+        grid = self.system.plan.lookahead
+        loop_times: set[int] = set()
+        barrier_times: list[tuple[int, str]] = []
+        for action in self.scenario.actions:
+            if isinstance(action, CrashMachine):
+                barrier_times.append(
+                    (action.at, f"crash of machine {action.machine}")
+                )
+            elif isinstance(action, Evacuation):
+                barrier_times.append((
+                    action.kill_at,
+                    f"maintenance kill of machine {action.machine}",
+                ))
+                loop_times.add(action.drain_at)
+            elif isinstance(action, MigrationStorm):
+                loop_times.add(action.at)
+        seen: set[int] = set()
+        for at, what in barrier_times:
+            if at % grid:
+                raise SimulationError(
+                    f"{what} at t={at} is off the {grid}us window grid; "
+                    f"sharded crashes fire at barriers, so their times "
+                    f"must be multiples of the lookahead"
+                )
+            if at in seen or at in loop_times:
+                raise SimulationError(
+                    f"{what} at t={at} collides with another action's "
+                    f"time; sharded crash times must be unique so the "
+                    f"classic and barrier engines order same-tick work "
+                    f"identically"
+                )
+            seen.add(at)
+
     def install(self) -> None:
         """Schedule every scenario action on the simulation clock."""
         if self.installed:
@@ -95,7 +145,16 @@ class ChaosEngine:
         self.installed = True
         for action in self.scenario.actions:
             if isinstance(action, CrashMachine):
-                self._at(action.at, action.machine, self._crash, action)
+                if self.sharded:
+                    self._at_barrier(
+                        action.at,
+                        ("crash", action.machine, action.executor),
+                        self._crash, action,
+                    )
+                else:
+                    self._at(
+                        action.at, action.machine, self._crash, action
+                    )
             elif isinstance(action, Partition):
                 self._at(action.at, 0, self._partition, action)
                 self._at(action.heal_at, 0, self._heal, action)
@@ -111,8 +170,18 @@ class ChaosEngine:
             elif isinstance(action, Evacuation):
                 self._at(action.drain_at, action.machine, self._drain,
                          action)
-                self._at(action.kill_at, action.executor, self._kill,
-                         action)
+                if self.sharded:
+                    self._at_barrier(
+                        action.kill_at,
+                        (
+                            "maintenance-kill", action.machine,
+                            action.executor,
+                        ),
+                        self._kill, action,
+                    )
+                else:
+                    self._at(action.kill_at, action.executor, self._kill,
+                             action)
 
     def _at(
         self, time: int, machine: MachineId, callback, *args: Any
@@ -122,6 +191,12 @@ class ChaosEngine:
             self.system.call_at(time, machine, callback, *args)
         else:
             self.system.loop.call_at(time, callback, *args)
+
+    def _at_barrier(
+        self, time: int, key: tuple, callback, *args: Any
+    ) -> None:
+        """Schedule a global action at a window barrier (sharded only)."""
+        self.system.call_at_barrier(time, key, callback, *args)
 
     # ------------------------------------------------------------------
     # Ledger

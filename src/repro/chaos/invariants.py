@@ -47,8 +47,9 @@ def _kernels(system: "AnySystem"):
 
 def _effective(system: "AnySystem", machine: MachineId) -> MachineId:
     if hasattr(system, "shards"):
-        # No fail-stop takeover under sharding, so no redirects either.
-        return machine
+        # crash_transport replicates redirects onto every shard's
+        # routing view, so any shard answers for the whole system.
+        return system.shards[0].network.effective_destination(machine)
     return system.network.effective_destination(machine)
 
 

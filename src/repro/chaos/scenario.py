@@ -206,9 +206,13 @@ class Evacuation:
 Action = Union[CrashMachine, Partition, FlakyLinks, MigrationStorm,
                Evacuation]
 
-#: actions safe under sharded execution (per-machine anchored, no
-#: global transport surgery)
-SHARD_SAFE_ACTIONS = (MigrationStorm,)
+#: actions safe under sharded execution.  Storms are per-machine
+#: anchored loop events; crashes and evacuation kills run as
+#: barrier-aligned global actions (grid-aligned times, key-ordered —
+#: see :meth:`~repro.sim.shard.ShardedSystem.call_at_barrier`).
+#: Partitions and flaky windows stay classic-only: they rewrite wire
+#: fault plans retroactively, which the sharded network refuses.
+SHARD_SAFE_ACTIONS = (MigrationStorm, CrashMachine, Evacuation)
 
 
 @dataclass(frozen=True)

@@ -316,8 +316,13 @@ class ShardNetwork(Network):
     the wire's *source* shard, so it is touched by exactly one worker
     and its evolution is shard-layout independent.
 
-    Not supported under sharding: fail-stop takeover (redirects need a
-    global view of routing) and retroactive ``set_faults`` (the default
+    Fail-stop takeover works, but only through
+    :meth:`~repro.sim.shard.ShardedSystem.crash_transport`, which
+    replicates the redirect onto every shard's routing view at a global
+    barrier (:meth:`install_redirect`); the direct
+    :meth:`redirect_machine` / :meth:`crash_machine` entry points
+    refuse, because one shard flipping alone would desynchronise
+    routing.  Retroactive ``set_faults`` stays unsupported (the default
     plan from the config applies to every wire from the start).
 
     With *elide_grid* set (barrier elision), the loop must be a
@@ -415,7 +420,7 @@ class ShardNetwork(Network):
             self.on_record_delivered(record)
         here = record.dst
         packet = record.packet
-        if here == packet.dst:
+        if here == self.effective_destination(packet.dst):
             self._transport(here).on_packet(packet)
         else:
             self._forward_from(here, packet)
@@ -423,10 +428,11 @@ class ShardNetwork(Network):
     # -- hop transmission ----------------------------------------------
 
     def _forward_from(self, here: MachineId, packet: Packet) -> None:
-        if here == packet.dst:
+        destination = self.effective_destination(packet.dst)
+        if here == destination:
             self._transport(here).on_packet(packet)
             return
-        next_hop = self.topology.next_hop(here, packet.dst)
+        next_hop = self.topology.next_hop(here, destination)
         self._transmit_hop(here, next_hop, packet)
 
     def _transmit_hop(
@@ -525,10 +531,37 @@ class ShardNetwork(Network):
 
     def redirect_machine(self, dead: MachineId, executor: MachineId) -> None:
         raise SimulationError(
-            "fail-stop takeover is not supported under sharded execution"
+            "direct fail-stop takeover is not supported on one shard "
+            "network; go through ShardedSystem.crash_transport so every "
+            "shard's routing view flips at the same barrier"
         )
 
     def crash_machine(self, dead: MachineId, executor: MachineId) -> None:
         raise SimulationError(
-            "fail-stop takeover is not supported under sharded execution"
+            "direct fail-stop takeover is not supported on one shard "
+            "network; go through ShardedSystem.crash_transport so every "
+            "shard's routing view flips at the same barrier"
         )
+
+    # -- sharded fail-stop takeover ---------------------------------------
+
+    def install_redirect(
+        self, dead: MachineId, executor: MachineId
+    ) -> None:
+        """Route traffic addressed to *dead* towards *executor*.
+
+        Called on **every** shard network by
+        :meth:`~repro.sim.shard.ShardedSystem.crash_transport` at a
+        global barrier, so all shards flip their (pure-data) routing
+        view atomically.  No transport validation here — a shard
+        usually owns neither machine; the sharded system validated
+        both before fanning out.
+        """
+        if dead == executor:
+            raise UnknownMachineError("a machine cannot execute itself")
+        self._redirects[dead] = executor
+        # Chase chains exactly as the classic facade does: anything
+        # previously redirected to `dead` now lands on the executor.
+        for original, target in list(self._redirects.items()):
+            if target == dead:
+                self._redirects[original] = executor

@@ -36,6 +36,45 @@ from repro.net.topology import MachineId
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import System
+    from repro.sim.shard import ShardedSystem
+
+    AnySystem = System | ShardedSystem
+
+
+def _kernels(system: "AnySystem"):
+    """Every kernel in machine order, on either engine."""
+    if hasattr(system, "shards"):
+        return system.kernels_in_machine_order()
+    return list(system.kernels)
+
+
+def _now(system: "AnySystem") -> int:
+    """The engine clock: one loop classically, the barrier clock sharded.
+
+    Under sharding, recovery only ever runs inside a barrier action,
+    where every shard clock has been frozen to the action time — so the
+    max over shard clocks *is* the crash instant.
+    """
+    if hasattr(system, "shards"):
+        return system.now()
+    return system.loop.now
+
+
+def _tracer(system: "AnySystem", machine: MachineId):
+    """The tracer that owns *machine* (the shard's, or the global one)."""
+    if hasattr(system, "shards"):
+        return system.shard_for(machine).tracer
+    return system.tracer
+
+
+def _crash_transport(
+    system: "AnySystem", machine: MachineId, executor: MachineId
+) -> None:
+    """Fail-stop the transport on either engine."""
+    if hasattr(system, "shards"):
+        system.crash_transport(machine, executor)
+    else:
+        system.network.crash_machine(machine, executor)
 
 
 @dataclass
@@ -51,9 +90,18 @@ class CrashReport:
 
 
 class CrashRecoveryManager:
-    """Fail-stop crashes with stable-storage process recovery."""
+    """Fail-stop crashes with stable-storage process recovery.
 
-    def __init__(self, system: "System") -> None:
+    Duck-types over :class:`~repro.core.system.System` and
+    :class:`~repro.sim.shard.ShardedSystem` (serial executor).  Sharded
+    crashes must run inside a barrier action
+    (:meth:`~repro.sim.shard.ShardedSystem.call_at_barrier`): the
+    recovery sequence mutates several shards' state atomically, which
+    is only sound between windows with every shard clock frozen at the
+    crash instant.
+    """
+
+    def __init__(self, system: "AnySystem") -> None:
         self.system = system
         self._protected: set[ProcessId] = set()
         self.reports: list[CrashReport] = []
@@ -87,11 +135,11 @@ class CrashRecoveryManager:
         # the delivery substrate (published communications) hands its
         # streams and its traffic to the executor.
         dead.crashed = True
-        system.network.crash_machine(machine, executor)
+        _crash_transport(system, machine, executor)
 
         # Abort outbound migrations from *any* machine that were headed
         # to the dead one (their destination state is gone).
-        for kernel in system.kernels:
+        for kernel in _kernels(system):
             if kernel is dead or kernel.crashed:
                 continue
             for pid in list(kernel.migration.outgoing_pids()):
@@ -101,7 +149,7 @@ class CrashRecoveryManager:
                 state = kernel.processes.get(pid)
                 entry.record.success = False
                 entry.record.refusal_reason = "destination crashed"
-                entry.record.completed_at = system.loop.now
+                entry.record.completed_at = _now(system)
                 if state is not None:
                     kernel.restore_aborted_migration(state)
                 kernel.migration._finish_source(entry, success=False)
@@ -114,7 +162,7 @@ class CrashRecoveryManager:
         # already-lost pending queue, cleanup) are moot.  Otherwise the
         # transfer is incomplete and is cancelled; the frozen state is
         # still at the source and is recovered below if protected.
-        for kernel in system.kernels:
+        for kernel in _kernels(system):
             if kernel is dead or kernel.crashed:
                 continue
             for pid, entry in list(kernel.migration._incoming.items()):
@@ -130,7 +178,18 @@ class CrashRecoveryManager:
                     # dead source's table; claim it exclusively first.
                     dead.processes.pop(pid, None)
                     kernel.restart_migrated_process(kernel.processes[pid])
-                    system.tracer.record(
+                    # The dead source died before its step-7 cleanup, so
+                    # the forwarding address it owed was lost with it.
+                    # The executor answers for the dead machine's routing
+                    # (the transport redirect), so it holds the pointer —
+                    # without it, traffic still addressed to the source
+                    # redirects to the executor and is undeliverable.
+                    if kernel is not alive:
+                        alive.forwarding.install(
+                            pid, kernel.machine, _now(system),
+                        )
+                        report.forwarding_recovered += 1
+                    _tracer(system, kernel.machine).record(
                         "recover", "inbound-completed", pid=str(pid),
                         at=kernel.machine,
                     )
@@ -138,7 +197,7 @@ class CrashRecoveryManager:
                     kernel.memory.cancel_reservation(pid)
                     kernel.processes.pop(pid, None)
                     report.migrations_aborted += 1
-                    system.tracer.record(
+                    _tracer(system, kernel.machine).record(
                         "recover", "inbound-cancelled", pid=str(pid),
                         at=kernel.machine,
                     )
@@ -148,15 +207,19 @@ class CrashRecoveryManager:
         # better itself — the process is resident here, or the executor
         # holds its own (later-on-the-path) pointer; installing the dead
         # machine's copy would shadow it with a staler or self-pointing
-        # one.
+        # one.  Exception: an executor entry pointing *at* the dead
+        # machine must be overwritten — the dead machine's copy is the
+        # next link of that very chain (strictly fresher), and keeping
+        # the stale pointer would combine with the transport redirect
+        # (dead -> executor) into a routing cycle that forwards forever.
         for entry in dead.forwarding.entries():
-            if (
-                entry.pid in alive.processes
-                or entry.pid in alive.forwarding
-            ):
+            if entry.pid in alive.processes:
+                continue
+            own = alive.forwarding.lookup(entry.pid)
+            if own is not None and own.machine != machine:
                 continue
             alive.forwarding.install(
-                entry.pid, entry.machine, system.loop.now,
+                entry.pid, entry.machine, _now(system),
             )
             report.forwarding_recovered += 1
 
@@ -170,12 +233,12 @@ class CrashRecoveryManager:
                 dead_mark = alive  # executor answers for the casualties
                 dead_mark.dead.add(pid)
                 report.casualties.append(pid)
-                system.tracer.record(
+                _tracer(system, alive.machine).record(
                     "recover", "casualty", pid=str(pid), machine=machine,
                 )
 
         self.reports.append(report)
-        system.tracer.record(
+        _tracer(system, executor).record(
             "recover", "crash", machine=machine, executor=executor,
             recovered=len(report.recovered),
             casualties=len(report.casualties),
@@ -202,7 +265,7 @@ class CrashRecoveryManager:
         system = self.system
         problems: list[str] = []
         hosts: dict[ProcessId, list[MachineId]] = {}
-        for kernel in system.kernels:
+        for kernel in _kernels(system):
             if kernel.crashed:
                 if kernel.processes:
                     problems.append(
@@ -226,7 +289,7 @@ class CrashRecoveryManager:
                 )
 
         def dead_marked(pid: ProcessId) -> bool:
-            return any(pid in k.dead for k in system.kernels)
+            return any(pid in k.dead for k in _kernels(system))
 
         for report in self.reports:
             for pid in report.recovered:
@@ -267,7 +330,7 @@ class CrashRecoveryManager:
             dead.loop.cancel(dead_timer)
         if state.wake_deadline is not None:
             state.wake_remaining = max(
-                0, state.wake_deadline - self.system.loop.now,
+                0, state.wake_deadline - _now(self.system),
             )
             state.wake_deadline = None
 
@@ -279,6 +342,6 @@ class CrashRecoveryManager:
             state.context.rebind(alive)
         state.accounting.migrations += 1  # a recovery is a forced move
         alive._unfreeze(state)
-        self.system.tracer.record(
+        _tracer(self.system, alive.machine).record(
             "recover", "recovered", pid=str(pid), to=alive.machine,
         )

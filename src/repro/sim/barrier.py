@@ -132,6 +132,69 @@ def window_end(time: int, lookahead: int) -> int:
     return (time // lookahead + 1) * lookahead
 
 
+@dataclass(frozen=True, slots=True)
+class BarrierAction:
+    """One global action pinned to a barrier on the window grid.
+
+    ``key`` is pure data (kind string + machine ids) and totally orders
+    same-tick actions the way :data:`RECORD_KEY` orders hop records:
+    the firing order is a function of the schedule alone, never of the
+    shard layout or of registration order.
+    """
+
+    at: int  #: fire time; must be a multiple of the window grid
+    key: tuple  #: pure-data tie-break among same-tick actions
+    callback: Any
+    args: tuple
+
+
+class BarrierActionQueue:
+    """Pending global actions for a sharded run (fail-stop crashes).
+
+    A crash mutates state on several shards at once, so it cannot be a
+    loop event — it fires *between* windows, at a barrier where every
+    shard has finished all events strictly before the action time.
+    Restricting action times to the window grid makes that barrier
+    exist by construction: windows are grid-aligned half-open
+    intervals, so no window ever straddles a grid point.
+    """
+
+    def __init__(self, lookahead: int) -> None:
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        self.lookahead = lookahead
+        self._pending: list[BarrierAction] = []
+        self.fired = 0
+
+    def add(self, at: int, key: tuple, callback: Any, *args: Any) -> None:
+        """Register *callback* to fire at the barrier at time *at*."""
+        if at < 0 or at % self.lookahead:
+            raise ValueError(
+                f"barrier action at t={at} is not aligned to the "
+                f"{self.lookahead}us window grid (a mid-window global "
+                f"action has no barrier to fire at)"
+            )
+        self._pending.append(BarrierAction(at, key, callback, args))
+
+    def pending(self) -> int:
+        """Actions registered but not yet fired."""
+        return len(self._pending)
+
+    def next_time(self) -> int | None:
+        """Earliest pending action time, or None."""
+        if not self._pending:
+            return None
+        return min(action.at for action in self._pending)
+
+    def take_due(self, at: int) -> list[BarrierAction]:
+        """Pop every action scheduled for *at*, in key order."""
+        due = [a for a in self._pending if a.at == at]
+        self._pending = [a for a in self._pending if a.at != at]
+        due.sort(key=lambda a: a.key)
+        self.fired += len(due)
+        return due
+
+
 class SyncStats:
     """Synchronisation-overhead counters for one shard.
 
@@ -224,6 +287,15 @@ class ShardPeer(Protocol):
         """Move the clock to *time* (no events there by contract)."""
         ...  # pragma: no cover
 
+    def freeze_at(self, time: int) -> None:
+        """Pin the clock at *time* without executing events there.
+
+        Used before firing barrier actions: every event strictly before
+        *time* has run, and events *at* *time* must still be pending —
+        a barrier action fires before the window that contains it.
+        """
+        ...  # pragma: no cover
+
     def drain_outboxes(self) -> dict[int, list[HopRecord]]:
         """Take (and clear) pending records, keyed by dest shard.
 
@@ -258,11 +330,18 @@ class SerialBarrierRunner:
     time from the same inputs each round.
     """
 
-    def __init__(self, peers: list[ShardPeer], lookahead: int) -> None:
+    def __init__(
+        self,
+        peers: list[ShardPeer],
+        lookahead: int,
+        actions: BarrierActionQueue | None = None,
+    ) -> None:
         if lookahead < 1:
             raise ValueError(f"lookahead must be >= 1, got {lookahead}")
         self.peers = peers
         self.lookahead = lookahead
+        #: global (cross-shard) actions fired between windows
+        self.actions = actions
         #: windows executed (diagnostics; identical for any shard count)
         self.windows = 0
         #: hop records exchanged at barriers (diagnostics)
@@ -275,6 +354,10 @@ class SerialBarrierRunner:
         while True:
             self._exchange_all()
             nxt = _next_time(*(p.next_event_time() for p in peers))
+            if self._fire_actions(nxt, horizon):
+                # Actions may schedule events and emit records; rerun
+                # the exchange and recompute the global next time.
+                continue
             if nxt is None or (horizon is not None and nxt > horizon):
                 break
             end = window_end(nxt, lookahead)
@@ -288,6 +371,32 @@ class SerialBarrierRunner:
         if horizon is not None:
             for peer in peers:
                 peer.advance_to(horizon)
+
+    def _fire_actions(self, nxt: int | None, horizon: int | None) -> bool:
+        """Fire barrier actions due before the next window, if any.
+
+        An action at grid time T fires once every event strictly before
+        T has executed (``nxt`` has climbed to T or beyond, or global
+        quiescence).  Windows are grid-aligned, so no window straddles
+        T: events at T are still pending when the action fires — the
+        same "crash runs first at its tick" semantics the classic
+        engine gets from scheduling the crash callback at install time.
+        """
+        queue = self.actions
+        if queue is None:
+            return False
+        at = queue.next_time()
+        if at is None:
+            return False
+        if horizon is not None and at > horizon:
+            return False
+        if nxt is not None and nxt < at:
+            return False
+        for peer in self.peers:
+            peer.freeze_at(at)
+        for action in queue.take_due(at):
+            action.callback(*action.args)
+        return True
 
     def _exchange_all(self) -> None:
         """Move every pending record to its destination shard, merging

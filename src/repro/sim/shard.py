@@ -55,6 +55,7 @@ from repro.net.network import ShardNetwork
 from repro.net.topology import MachineId, Topology
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.sim.barrier import (
+    BarrierActionQueue,
     ElidedSerialRunner,
     ElidedWorkerBarrier,
     SerialBarrierRunner,
@@ -214,6 +215,14 @@ class ShardRuntime:
         if time > self.shard.loop.now:
             self.shard.loop.run_until(time)
 
+    def freeze_at(self, time: int) -> None:
+        # Barrier actions fire *before* the window containing their
+        # tick: move the clock only, never execute events at `time`
+        # (run_until is inclusive and would).
+        clock = self.shard.loop.clock
+        if time > clock.now:
+            clock.advance_to(time)
+
     def drain_outboxes(self) -> dict[int, list["HopRecord"]]:
         return self.shard.network.take_outboxes()
 
@@ -327,6 +336,9 @@ class ShardedSystem:
             )
             self.shards.append(shard)
         runtimes = [ShardRuntime(shard) for shard in self.shards]
+        #: global (cross-shard) actions fired between windows — the
+        #: fail-stop crash hook; empty unless chaos registers actions
+        self._barrier_actions = BarrierActionQueue(self.plan.lookahead)
         if elision:
             self._runner: SerialBarrierRunner | ElidedSerialRunner = (
                 ElidedSerialRunner(
@@ -338,7 +350,8 @@ class ShardedSystem:
             )
         else:
             self._runner = SerialBarrierRunner(
-                runtimes, self.plan.lookahead
+                runtimes, self.plan.lookahead,
+                actions=self._barrier_actions,
             )
         #: set once a forked execution has consumed this system
         self._forked = False
@@ -393,6 +406,67 @@ class ShardedSystem:
         machine's state lives) and shard-layout independent.
         """
         self.shard_for(machine).loop.call_at(time, callback, *args)
+
+    def call_at_barrier(
+        self,
+        time: int,
+        key: tuple,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Schedule a *global* action at the window barrier at *time*.
+
+        Unlike :meth:`call_at`, the callback is not anchored to one
+        machine's loop: it fires between windows, when every shard has
+        executed all events strictly before *time* and frozen its clock
+        there — so it may touch state on several shards atomically
+        (fail-stop crash recovery does).  *time* must sit on the window
+        grid (a multiple of ``plan.lookahead``); *key* is pure data and
+        orders same-tick actions deterministically.
+
+        Serial executor only: the forked workers have no global
+        rendezvous a cross-shard mutation could ride on, and barrier
+        elision replaces the global window schedule with pairwise
+        rendezvous, so neither supports barrier actions.
+        """
+        if self.config.barrier_elision:
+            raise SimulationError(
+                "barrier actions need the classic window schedule; "
+                "barrier elision has no global rendezvous to align "
+                "them to"
+            )
+        try:
+            self._barrier_actions.add(time, key, callback, *args)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from None
+
+    def crash_transport(
+        self, dead: MachineId, executor: MachineId
+    ) -> None:
+        """Fail-stop *dead*'s transport across every shard network.
+
+        The sharded sibling of :meth:`Network.crash_machine`: installs
+        the redirect on **every** shard's routing view (pure data,
+        replicated so each shard routes identically), hands the dead
+        machine's receive-stream state to the executor's transport, and
+        abandons the dead machine's unacknowledged sends.  Call only
+        from a barrier action — mid-window the shards disagree on time.
+        """
+        dead_net = self.shard_for(dead).network
+        exec_net = self.shard_for(executor).network
+        for shard in self.shards:
+            shard.network.install_redirect(dead, executor)
+        exec_net._transport(executor).absorb_recv_states(
+            dead_net._transport(dead).export_recv_states()
+        )
+        abandoned = dead_net._transport(dead).abandon_sends()
+        self.shard_for(dead).tracer.record(
+            "net",
+            "crash",
+            machine=dead,
+            executor=executor,
+            abandoned_sends=abandoned,
+        )
 
     def schedule_spawn(
         self,
@@ -504,6 +578,12 @@ class ShardedSystem:
     ) -> list[Any]:
         """One-shot forked execution: one worker per shard."""
         self._require_not_forked()
+        if self._barrier_actions.pending():
+            raise SimulationError(
+                "barrier actions (fail-stop crashes under sharding) "
+                "need the serial executor; forked workers have no "
+                "global barrier hook"
+            )
         if "fork" not in multiprocessing.get_all_start_methods():
             # No fork on this platform: the serial executor computes the
             # identical result (the schedule is shared), just without

@@ -77,6 +77,24 @@ class TestCampaignRunner:
         assert outcome.counters["messages_forwarded"] >= 1
         assert outcome.counters["pingers_done"] == 8
 
+    def test_smoke_fileserver_crash_serves_through_the_crash(self):
+        result = run_campaign("smoke", scenarios=["fileserver_crash"])
+        assert result.ok, "\n".join(result.problems)
+        outcome = result.outcomes[0]
+        assert outcome.counters["file_errors"] == 0
+        assert outcome.counters["file_streams_done"] >= 1
+        assert outcome.counters["recovered"] >= 1
+        assert outcome.counters["reply_mismatches"] == 0
+
+    def test_smoke_crash_parity_matches_the_classic_engine(self):
+        result = run_campaign("smoke", scenarios=["crash_parity"])
+        assert result.ok, "\n".join(result.problems)
+        outcome = result.outcomes[0]
+        assert outcome.counters["variants"] == 3
+        assert outcome.counters["recovered"] >= 1
+        assert outcome.counters["pingers_done"] >= 2
+        assert outcome.counters["faults.crash"] >= 1
+
     def test_smoke_crash_scenario_recovers_survivors(self):
         result = run_campaign("smoke", scenarios=["crash"])
         assert result.ok, "\n".join(result.problems)
@@ -109,5 +127,6 @@ class TestChaosCli:
 
     def test_default_runs_every_scenario(self):
         assert tuple(SCENARIOS) == (
-            "crash", "partition", "evacuate", "storm_parity",
+            "crash", "partition", "evacuate", "fileserver_crash",
+            "storm_parity", "crash_parity",
         )

@@ -90,9 +90,11 @@ def run_storm(seed: int, wave_times: tuple[int, ...], shards: int):
         MigrationStorm(
             at=at,
             moves=tuple(
-                Move(pid=pids[m],
-                     home=(m + wave * half) % MACHINES,
-                     dest=(m + (wave + 1) * half) % MACHINES)
+                Move(
+                    pid=pids[m],
+                    home=(m + wave * half) % MACHINES,
+                    dest=(m + (wave + 1) * half) % MACHINES,
+                )
                 for m in range(MACHINES)
             ),
         )

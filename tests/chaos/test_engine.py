@@ -47,8 +47,11 @@ class TestCrashAction:
         pid = system.spawn(parked, machine=2, name="victim")
         engine = ChaosEngine(system, ChaosScenario(
             "t",
-            (CrashMachine(at=10_000, machine=2, executor=3,
-                          protect=False),),
+            (
+                CrashMachine(
+                    at=10_000, machine=2, executor=3, protect=False,
+                ),
+            ),
         ))
         engine.install()
         system.run(until=50_000)
@@ -61,8 +64,12 @@ class TestPartitionAction:
         system = make_system(machines=4)
         engine = ChaosEngine(system, ChaosScenario(
             "t",
-            (Partition(at=5_000, heal_at=40_000, group_a=(0, 1),
-                       group_b=(2, 3)),),
+            (
+                Partition(
+                    at=5_000, heal_at=40_000,
+                    group_a=(0, 1), group_b=(2, 3),
+                ),
+            ),
         ))
         engine.install()
 
@@ -139,11 +146,14 @@ class TestEvacuationAction:
         engine = ChaosEngine(system, ChaosScenario(
             "t",
             (
-                Evacuation(drain_at=10_000, machine=2, kill_at=300_000,
-                           executor=3, dests=(3,)),
+                Evacuation(
+                    drain_at=10_000, machine=2, kill_at=300_000,
+                    executor=3, dests=(3,),
+                ),
                 # Inbound move against the draining machine: refused.
-                MigrationStorm(at=20_000,
-                               moves=(Move(outsider, 0, 2),)),
+                MigrationStorm(
+                    at=20_000, moves=(Move(outsider, 0, 2),),
+                ),
             ),
         ))
         engine.install()
@@ -169,15 +179,77 @@ class TestEngineDiscipline:
         with pytest.raises(SimulationError, match="already installed"):
             engine.install()
 
-    def test_sharded_system_rejects_global_actions(self):
+    def test_sharded_system_rejects_wire_surgery_actions(self):
         system = ShardedSystem(SystemConfig(
             machines=4, topology="torus", latency=1_000, shards=2,
         ))
-        with pytest.raises(SimulationError, match="only migration "
-                                                  "storms"):
+        with pytest.raises(SimulationError, match="fault plans"):
             ChaosEngine(system, ChaosScenario(
-                "t", (CrashMachine(at=1_000, machine=2, executor=3),),
+                "t",
+                (
+                    Partition(
+                        at=1_000, heal_at=2_000,
+                        group_a=(0, 1), group_b=(2, 3),
+                    ),
+                ),
             ))
+
+    def test_sharded_crash_needs_grid_aligned_time(self):
+        system = ShardedSystem(SystemConfig(
+            machines=4, topology="torus", latency=1_000, shards=2,
+        ))
+        with pytest.raises(SimulationError, match="window grid"):
+            ChaosEngine(system, ChaosScenario(
+                "t", (CrashMachine(at=1_500, machine=2, executor=3),),
+            ))
+
+    def test_sharded_crash_time_must_not_collide_with_storm(self):
+        system = ShardedSystem(SystemConfig(
+            machines=4, topology="torus", latency=1_000, shards=2,
+        ))
+        pid = system.spawn(parked, machine=1, name="mover")
+        with pytest.raises(SimulationError, match="collides"):
+            ChaosEngine(system, ChaosScenario(
+                "t",
+                (
+                    MigrationStorm(at=10_000, moves=(Move(pid, 1, 3),)),
+                    CrashMachine(at=10_000, machine=2, executor=3),
+                ),
+            ))
+
+    def test_sharded_crash_recovers_across_shards(self):
+        # Machine 3 lives in shard 1, executor 1 in shard 0: recovery
+        # moves the live process state across the shard boundary at the
+        # barrier, and the redirect carries later traffic to machine 1.
+        system = ShardedSystem(SystemConfig(
+            machines=4, topology="torus", latency=1_000, shards=2,
+        ))
+        pid = system.spawn(parked, machine=3, name="victim")
+        engine = ChaosEngine(system, ChaosScenario(
+            "t", (CrashMachine(at=10_000, machine=3, executor=1),),
+        ))
+        engine.install()
+        system.drain()
+        assert system.kernel(3).crashed
+        assert pid in system.kernel(1).processes
+        assert engine.counts == {"crash": 1}
+        assert engine.crash_reports[0].recovered == [pid]
+        for shard in system.shards:
+            assert shard.network.effective_destination(3) == 1
+        assert engine.ledger() == [
+            FaultEvent(10_000, "crash", "machine 3 -> executor 1"),
+        ]
+
+    def test_sharded_crash_refused_under_barrier_elision(self):
+        system = ShardedSystem(SystemConfig(
+            machines=4, topology="torus", latency=1_000, shards=2,
+            barrier_elision=True, backbone_latency=1_000,
+        ))
+        engine = ChaosEngine(system, ChaosScenario(
+            "t", (CrashMachine(at=10_000, machine=3, executor=1),),
+        ))
+        with pytest.raises(SimulationError, match="elision"):
+            engine.install()
 
     def test_sharded_storm_runs_and_ledgers(self):
         system = ShardedSystem(SystemConfig(

@@ -28,8 +28,10 @@ class TestValidation:
             CrashMachine(at=50, machine=3, executor=4),
             Partition(at=20, heal_at=60, group_a=(0, 1), group_b=(2, 3)),
             FlakyLinks(at=70, until=90),
-            Evacuation(drain_at=100, machine=5, kill_at=200, executor=6,
-                       dests=(6, 7)),
+            Evacuation(
+                drain_at=100, machine=5, kill_at=200, executor=6,
+                dests=(6, 7),
+            ),
         ).validate(machines=8)
 
     def test_crash_machine_out_of_range(self):
@@ -55,8 +57,10 @@ class TestValidation:
         with pytest.raises(ConfigError, match="crashed twice"):
             scenario(
                 CrashMachine(at=1, machine=2, executor=0),
-                Evacuation(drain_at=5, machine=2, kill_at=9, executor=3,
-                           dests=(3,)),
+                Evacuation(
+                    drain_at=5, machine=2, kill_at=9, executor=3,
+                    dests=(3,),
+                ),
             ).validate(machines=4)
 
     def test_dead_executor_rejected(self):
@@ -100,11 +104,119 @@ class TestValidation:
                 MigrationStorm(at=1, moves=(Move(PID, 2, 2),))
             ).validate(machines=4)
 
+    def test_scenario_needs_a_name(self):
+        with pytest.raises(ConfigError, match="needs a name"):
+            ChaosScenario("", ()).validate(machines=4)
+
+    def test_crash_executor_out_of_range(self):
+        with pytest.raises(ConfigError, match="executor 9 out of range"):
+            scenario(
+                CrashMachine(at=1, machine=2, executor=9)
+            ).validate(machines=4)
+
+    def test_crash_time_must_be_non_negative(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            scenario(
+                CrashMachine(at=-1, machine=2, executor=3)
+            ).validate(machines=4)
+
+    def test_partition_needs_non_empty_groups(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            scenario(
+                Partition(at=1, heal_at=9, group_a=(), group_b=(1,))
+            ).validate(machines=4)
+
+    def test_partition_machine_out_of_range(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            scenario(
+                Partition(at=1, heal_at=9, group_a=(0,), group_b=(7,))
+            ).validate(machines=4)
+
+    def test_flaky_window_must_be_positive(self):
+        with pytest.raises(ConfigError, match="empty or negative"):
+            scenario(FlakyLinks(at=9, until=9)).validate(machines=4)
+
+    def test_flaky_self_pair_rejected(self):
+        with pytest.raises(ConfigError, match="no wire to itself"):
+            scenario(
+                FlakyLinks(at=1, until=9, pairs=((2, 2),))
+            ).validate(machines=4)
+
+    def test_storm_move_machines_range_checked(self):
+        with pytest.raises(ConfigError, match="home 9 out of range"):
+            scenario(
+                MigrationStorm(at=1, moves=(Move(PID, 9, 3),))
+            ).validate(machines=4)
+        with pytest.raises(ConfigError, match="dest 9 out of range"):
+            scenario(
+                MigrationStorm(at=1, moves=(Move(PID, 2, 9),))
+            ).validate(machines=4)
+
+    def test_storm_time_must_be_non_negative(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            scenario(
+                MigrationStorm(at=-1, moves=(Move(PID, 2, 3),))
+            ).validate(machines=4)
+
+    def test_evacuation_window_must_be_positive(self):
+        with pytest.raises(ConfigError, match="empty or negative"):
+            scenario(
+                Evacuation(
+                    drain_at=9, machine=2, kill_at=9, executor=3,
+                    dests=(3,),
+                )
+            ).validate(machines=4)
+
+    def test_evacuation_machine_and_executor_range_checked(self):
+        with pytest.raises(ConfigError, match="evacuated machine 9"):
+            scenario(
+                Evacuation(
+                    drain_at=1, machine=9, kill_at=9, executor=3,
+                    dests=(3,),
+                )
+            ).validate(machines=4)
+        with pytest.raises(ConfigError, match="executor 9 out of range"):
+            scenario(
+                Evacuation(
+                    drain_at=1, machine=2, kill_at=9, executor=9,
+                    dests=(3,),
+                )
+            ).validate(machines=4)
+
+    def test_evacuation_cannot_execute_its_own_kill(self):
+        with pytest.raises(ConfigError, match="its own kill"):
+            scenario(
+                Evacuation(
+                    drain_at=1, machine=2, kill_at=9, executor=2,
+                    dests=(3,),
+                )
+            ).validate(machines=4)
+
+    def test_evacuation_needs_destinations(self):
+        with pytest.raises(ConfigError, match="at least one destination"):
+            scenario(
+                Evacuation(
+                    drain_at=1, machine=2, kill_at=9, executor=3,
+                    dests=(),
+                )
+            ).validate(machines=4)
+
+    def test_evacuation_dest_out_of_range(self):
+        with pytest.raises(ConfigError, match="dest 9 out of range"):
+            scenario(
+                Evacuation(
+                    drain_at=1, machine=2, kill_at=9, executor=3,
+                    dests=(9,),
+                )
+            ).validate(machines=4)
+
     def test_evacuation_dest_cannot_be_the_drained_machine(self):
         with pytest.raises(ConfigError, match="being drained"):
             scenario(
-                Evacuation(drain_at=1, machine=2, kill_at=9, executor=3,
-                           dests=(2,))
+                Evacuation(
+                    drain_at=1, machine=2, kill_at=9, executor=3,
+                    dests=(2,),
+                )
             ).validate(machines=4)
 
 
@@ -114,10 +226,22 @@ class TestShardSafety:
             MigrationStorm(at=1, moves=(Move(PID, 2, 3),))
         ).shard_safe
 
-    def test_crash_is_not_shard_safe(self):
-        assert not scenario(
+    def test_crash_and_evacuation_are_shard_safe(self):
+        assert scenario(
             MigrationStorm(at=1, moves=(Move(PID, 2, 3),)),
             CrashMachine(at=5, machine=3, executor=0),
+            Evacuation(
+                drain_at=7, machine=1, kill_at=9, executor=0,
+                dests=(0,),
+            ),
+        ).shard_safe
+
+    def test_wire_surgery_is_not_shard_safe(self):
+        assert not scenario(
+            Partition(at=1, heal_at=5, group_a=(0, 1), group_b=(2, 3)),
+        ).shard_safe
+        assert not scenario(
+            FlakyLinks(at=1, until=5),
         ).shard_safe
 
 
@@ -141,12 +265,27 @@ class TestFaultSchedule:
 
     def test_evacuation_contributes_drain_and_kill(self):
         s = scenario(
-            Evacuation(drain_at=5, machine=2, kill_at=9, executor=3,
-                       dests=(3, 0)),
+            Evacuation(
+                drain_at=5, machine=2, kill_at=9, executor=3,
+                dests=(3, 0),
+            ),
         )
         assert [entry[1] for entry in s.fault_schedule()] == [
             "drain", "maintenance-kill",
         ]
+
+    def test_flaky_contributes_window_edges(self):
+        s = scenario(
+            FlakyLinks(at=5, until=9),
+            FlakyLinks(at=20, until=30, pairs=((0, 1),)),
+        )
+        assert [entry[:2] for entry in s.fault_schedule()] == [
+            (5, "flaky"), (9, "flaky-end"),
+            (20, "flaky"), (30, "flaky-end"),
+        ]
+        details = [entry[2] for entry in s.fault_schedule()]
+        assert details[0] == "all wires"
+        assert details[2] == "1 wire pair(s)"
 
     def test_unprotected_crash_marked(self):
         s = scenario(

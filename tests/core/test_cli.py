@@ -51,6 +51,25 @@ class TestCli:
             main(["frobnicate"])
 
 
+class TestReportSharded:
+    def test_text_mode_names_the_shard_count(self, capsys):
+        assert main(
+            ["report", "--shards", "2", "--requests", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded execution: 2 shards" in out
+        assert "lookahead" in out
+
+    def test_json_mode_carries_shard_count(self, capsys):
+        assert main(
+            ["report", "--shards", "2", "--requests", "3", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == METRICS_SCHEMA
+        assert document["shards"] == 2
+        assert document["report"]["machines"] == 4
+
+
 class TestReportJson:
     def test_emits_valid_metrics_document(self, capsys):
         assert main(["report", "--json"]) == 0
@@ -121,6 +140,14 @@ class TestSloCommand:
         assert latency["p99_us"] < queue["p99_us"]
         assert latency["replies_in_slo"] > queue["replies_in_slo"]
         assert latency["slo_breach_samples"] >= 2
+
+    def test_text_mode_prints_first_move_time(self, capsys):
+        # Default client count: the latency-aware arm migrates, so the
+        # text report names the first move's timestamp.
+        assert main(["slo"]) == 0
+        out = capsys.readouterr().out
+        assert "first move t=" in out
+        assert "never moved" in out
 
     def test_slo_threshold_is_configurable(self, capsys):
         assert main(["slo", "--clients", "8", "--slo-us", "25000"]) == 0

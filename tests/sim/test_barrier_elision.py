@@ -357,8 +357,10 @@ class TestElisionParity:
         # The schedule-derived stats are executor-exact; byte counts
         # are executor-faithful (serial shares one object graph across
         # shards, so pickled sizes can drift a fraction of a percent).
-        for key in ("rounds", "records_sent", "records_received",
-                    "windows_elided"):
+        for key in (
+            "rounds", "records_sent", "records_received",
+            "windows_elided",
+        ):
             assert serial_sync[key] == fork_sync[key]
         assert serial_sync["bytes_sent"] == pytest.approx(
             fork_sync["bytes_sent"], rel=0.01
@@ -380,8 +382,10 @@ class TestElisionParity:
             key: sum(
                 _collect(shard)[key] for shard in system.shards
             )
-            for key in ("delivered", "spawned", "packets",
-                        "wire_bytes", "events")
+            for key in (
+                "delivered", "spawned", "packets",
+                "wire_bytes", "events",
+            )
         }
         assert resumed == single
 

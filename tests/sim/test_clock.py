@@ -3,7 +3,16 @@
 import pytest
 
 from repro.errors import ClockError
-from repro.sim.clock import MSEC, SEC, USEC, SimClock, format_time, msec, sec, usec
+from repro.sim.clock import (
+    MSEC,
+    SEC,
+    USEC,
+    SimClock,
+    format_time,
+    msec,
+    sec,
+    usec,
+)
 
 
 class TestUnits:

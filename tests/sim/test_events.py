@@ -89,6 +89,37 @@ class TestPeek:
         assert EventQueue().peek_time() is None
 
 
+class TestEventOrderingProtocol:
+    """ScheduledEvent's rich comparisons: time first, then seq."""
+
+    def make(self, time, seq):
+        event = EventQueue().push(time, lambda: None)
+        event.seq = seq
+        return event
+
+    def test_lt_orders_by_time_then_seq(self):
+        assert self.make(1, (0,)) < self.make(2, (0,))
+        assert self.make(5, (1,)) < self.make(5, (2,))
+        assert not self.make(5, (2,)) < self.make(5, (1,))
+
+    def test_le_admits_equal_events(self):
+        assert self.make(1, (0,)) <= self.make(2, (0,))
+        assert self.make(5, (3,)) <= self.make(5, (3,))
+        assert not self.make(6, (0,)) <= self.make(5, (0,))
+
+    def test_eq_and_hash_agree(self):
+        a, b = self.make(7, (1,)), self.make(7, (1,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != self.make(7, (2,))
+        assert a != "not an event"
+
+    def test_repr_mentions_time_and_cancelled(self):
+        event = self.make(9, (0,))
+        assert "time=9" in repr(event)
+        assert "cancelled=False" in repr(event)
+
+
 class TestValidation:
     def test_negative_time_rejected(self):
         with pytest.raises(ClockError):

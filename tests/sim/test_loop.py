@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ClockError, SimulationError
-from repro.sim.loop import EventLoop
+from repro.sim.loop import EventLoop, KeyedEventLoop
 
 
 class TestScheduling:
@@ -25,7 +25,9 @@ class TestScheduling:
     def test_call_soon_fires_at_current_instant(self):
         loop = EventLoop()
         seen = []
-        loop.call_after(10, lambda: loop.call_soon(lambda: seen.append(loop.now)))
+        loop.call_after(
+            10, lambda: loop.call_soon(lambda: seen.append(loop.now)),
+        )
         loop.run()
         assert seen == [10]
 
@@ -39,6 +41,26 @@ class TestScheduling:
     def test_negative_delay_rejected(self):
         with pytest.raises(ClockError):
             EventLoop().call_after(-1, lambda: None)
+
+    def test_step_executes_one_event(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_after(10, seen.append, "a")
+        loop.call_after(20, seen.append, "b")
+        assert loop.step() is True
+        assert seen == ["a"]
+        assert loop.now == 10
+        assert loop.step() is True
+        assert loop.step() is False
+        assert seen == ["a", "b"]
+
+    def test_repr_mentions_progress(self):
+        loop = EventLoop()
+        loop.call_after(5, lambda: None)
+        loop.run()
+        text = repr(loop)
+        assert "now=5" in text
+        assert "fired=1" in text
 
     def test_cascading_events(self):
         loop = EventLoop()
@@ -93,6 +115,37 @@ class TestRun:
         with pytest.raises(ClockError):
             loop.run_until(50)
 
+    def test_run_until_honors_max_events(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.call_after(10 * i, lambda: None)
+        assert loop.run_until(100, max_events=2) == 2
+        assert loop.pending_events == 3
+        assert loop.run_until(100) == 3
+        assert loop.now == 100
+
+    def test_run_until_max_events_still_respects_deadline(self):
+        loop = EventLoop()
+        for t in (10, 20, 30):
+            loop.call_after(t, lambda: None)
+        assert loop.run_until(15, max_events=5) == 1
+        assert loop.now == 15
+        assert loop.pending_events == 2
+
+    def test_reentrant_run_until_rejected(self):
+        loop = EventLoop()
+        failures = []
+
+        def reenter():
+            try:
+                loop.run_until(50)
+            except SimulationError:
+                failures.append(True)
+
+        loop.call_after(10, reenter)
+        loop.run_until(20)
+        assert failures == [True]
+
     def test_reentrant_run_rejected(self):
         loop = EventLoop()
         failures = []
@@ -123,6 +176,28 @@ class TestRun:
         loop.call_after(2, lambda: None)
         loop.run()
         assert loop.events_fired == 2
+
+
+class TestKeyedEventLoop:
+    def test_grid_property_and_scheduling(self):
+        loop = KeyedEventLoop(grid=1_000)
+        assert loop.grid == 1_000
+        seen = []
+        loop.call_at(500, seen.append, "at")
+        loop.call_after(700, seen.append, "after")
+        loop.run()
+        assert seen == ["at", "after"]
+
+    def test_past_call_at_rejected(self):
+        loop = KeyedEventLoop(grid=1_000)
+        loop.call_at(10, lambda: None)
+        loop.run()
+        with pytest.raises(ClockError):
+            loop.call_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            KeyedEventLoop(grid=1_000).call_after(-1, lambda: None)
 
 
 class TestDeterminism:

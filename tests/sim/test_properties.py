@@ -9,8 +9,11 @@ from repro.sim.rng import RandomStreams
 
 
 class TestEventQueueProperties:
-    @given(times=st.lists(st.integers(min_value=0, max_value=10_000),
-                          max_size=60))
+    @given(
+        times=st.lists(
+            st.integers(min_value=0, max_value=10_000), max_size=60,
+        ),
+    )
     def test_pop_order_is_time_then_fifo(self, times):
         queue = EventQueue()
         for index, time in enumerate(times):
@@ -25,8 +28,10 @@ class TestEventQueueProperties:
         assert len(popped) == len(times)
 
     @given(
-        times=st.lists(st.integers(min_value=0, max_value=1_000),
-                       min_size=1, max_size=40),
+        times=st.lists(
+            st.integers(min_value=0, max_value=1_000),
+            min_size=1, max_size=40,
+        ),
         cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40),
     )
     def test_cancelled_events_never_fire(self, times, cancel_mask):
@@ -47,8 +52,11 @@ class TestEventQueueProperties:
 
 
 class TestLoopProperties:
-    @given(delays=st.lists(st.integers(min_value=0, max_value=5_000),
-                           max_size=40))
+    @given(
+        delays=st.lists(
+            st.integers(min_value=0, max_value=5_000), max_size=40,
+        ),
+    )
     def test_clock_monotone_through_any_schedule(self, delays):
         loop = EventLoop()
         observed = []
@@ -59,8 +67,10 @@ class TestLoopProperties:
         assert loop.events_fired == len(delays)
 
     @given(
-        delays=st.lists(st.integers(min_value=0, max_value=5_000),
-                        min_size=1, max_size=30),
+        delays=st.lists(
+            st.integers(min_value=0, max_value=5_000),
+            min_size=1, max_size=30,
+        ),
         deadline=st.integers(min_value=0, max_value=5_000),
     )
     def test_run_until_partitions_events_exactly(self, delays, deadline):
@@ -75,9 +85,13 @@ class TestLoopProperties:
 
 
 class TestRngProperties:
-    @given(seed=st.integers(min_value=0, max_value=2**32),
-           names=st.lists(st.text(min_size=1, max_size=8), min_size=1,
-                          max_size=6, unique=True))
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        names=st.lists(
+            st.text(min_size=1, max_size=8),
+            min_size=1, max_size=6, unique=True,
+        ),
+    )
     def test_streams_reproducible_regardless_of_order(self, seed, names):
         forward = RandomStreams(seed)
         values_forward = {

@@ -226,8 +226,10 @@ class TestSerialExecution:
                 assert report == reference
 
     def test_faulty_network_parity(self):
-        faults = FaultPlan(drop_probability=0.05,
-                           duplicate_probability=0.02, max_jitter=30)
+        faults = FaultPlan(
+            drop_probability=0.05, duplicate_probability=0.02,
+            max_jitter=30,
+        )
         reports = []
         for shards in (1, 2):
             system = sharded(machines=8, shards=shards, faults=faults)
@@ -291,8 +293,10 @@ class TestForkExecution:
             pingpong_scenario(system)
             results = system.execute(
                 None,
-                lambda shard: (shard.metrics.snapshot(),
-                               shard.loop.events_fired),
+                lambda shard: (
+                    shard.metrics.snapshot(),
+                    shard.loop.events_fired,
+                ),
                 executor=executor,
             )
             from repro.obs.metrics import merge_snapshots

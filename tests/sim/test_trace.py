@@ -135,8 +135,9 @@ class TestRingBuffer:
         assert len(tracer) == 1
 
     def test_filtered_records_do_not_consume_ring_slots(self):
-        tracer, _ = make_tracer(max_records=2,
-                                enabled_categories=["keep"])
+        tracer, _ = make_tracer(
+            max_records=2, enabled_categories=["keep"],
+        )
         tracer.record("keep", "a")
         for _ in range(10):
             tracer.record("noise", "x")
