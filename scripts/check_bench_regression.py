@@ -26,6 +26,12 @@ A results artifact with no committed baseline also fails the gate: a
 new benchmark must land together with its baseline, otherwise its
 counters are silently ungated until someone notices.
 
+Wall-clock timings (``*wall*``, ``*seconds*``, ``*speedup*``, ...) are
+host-dependent and may only appear under ``meta``, never as gated
+metrics.  And a committed baseline whose meta claims a parallel speedup
+above 1x while ``meta.cpu_count`` is 1 (or absent) is rejected outright
+— the curve could not have been measured on that host.
+
 Exit codes: 0 ok, 1 regression or malformed artifact, 2 usage error
 (e.g. no artifacts found where they were expected).
 """
@@ -44,6 +50,12 @@ DEFAULT_TOLERANCE = 0.2
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+#: substrings that mark a field as a timing measurement — host-dependent
+#: and nondeterministic, so it belongs in ``meta`` (informational), never
+#: in ``metrics`` (gated with a drift tolerance)
+WALL_CLOCK_MARKERS = ("wall", "elapsed", "seconds", "speedup")
+
+
 def load_artifact(path: Path) -> dict:
     """Read one artifact, validating the schema tag and metric types."""
     document = json.loads(path.read_text())
@@ -60,7 +72,52 @@ def load_artifact(path: Path) -> dict:
             raise ValueError(
                 f"{path.name}: metric {key!r} is not a number: {value!r}"
             )
+        lowered = key.lower()
+        for marker in WALL_CLOCK_MARKERS:
+            if marker in lowered:
+                raise ValueError(
+                    f"{path.name}: metric {key!r} looks like a "
+                    f"wall-clock measurement ({marker!r}) — timing is "
+                    f"host-dependent and belongs in 'meta', not in the "
+                    f"gated 'metrics'"
+                )
     return document
+
+
+def check_speedup_honesty(name: str, meta: dict) -> list[str]:
+    """Refuse a committed baseline whose speedup claim cannot be real.
+
+    A ``speedup`` > 1 recorded on a host with one CPU is by definition
+    measurement noise or a copy-paste from another machine — parallel
+    shards cannot beat serial without parallel hardware.  Requiring
+    ``cpu_count`` alongside any speedup claim keeps the committed
+    curves honest about what actually ran.
+    """
+    problems = []
+    claims = {
+        key: value
+        for key, value in meta.items()
+        if "speedup" in key.lower()
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+    for key, value in sorted(claims.items()):
+        if value <= 1:
+            continue
+        cpu_count = meta.get("cpu_count")
+        if cpu_count is None:
+            problems.append(
+                f"{name}: baseline claims meta.{key} = {value} but "
+                f"records no meta.cpu_count — a speedup claim must say "
+                f"what hardware measured it"
+            )
+        elif cpu_count == 1:
+            problems.append(
+                f"{name}: baseline claims meta.{key} = {value} with "
+                f"meta.cpu_count = 1 — a single-core host cannot show "
+                f"parallel speedup; regenerate on a multi-core runner"
+            )
+    return problems
 
 
 #: meta keys that parameterise a run — a mismatch means the result came
@@ -197,6 +254,12 @@ def main(argv: list[str] | None = None) -> int:
             current = load_artifact(result_path)
         except (ValueError, json.JSONDecodeError) as exc:
             problems.append(str(exc))
+            continue
+        honesty_problems = check_speedup_honesty(
+            baseline["name"], baseline.get("meta", {}),
+        )
+        if honesty_problems:
+            problems.extend(honesty_problems)
             continue
         meta_problems = compare_meta(
             baseline["name"],

@@ -75,6 +75,35 @@ class Message:
         self.dest = self.dest.moved_to(machine)
         self.forward_count += 1
 
+    def __getstate__(self) -> tuple:
+        """Positional wire form: every field except receiver-local state.
+
+        ``serial`` follows the same rule as
+        :meth:`repro.net.packet.Packet.__getstate__`: an
+        address-space-local diagnostic id whose value depends on the
+        executor, re-minted locally on unpickle.  ``delivered_link_ids``
+        is minted by the *receiver* at delivery time; a message in
+        flight has none, but the serial executor shares one live object
+        between sender and receiver, so a transport retransmission
+        after first delivery would otherwise pickle the receiver's
+        mutation — making blob bytes executor-dependent.  Positional
+        because per-record wire blobs cannot share pickle memos.
+        """
+        return (
+            self.dest, self.sender, self.kind, self.op, self.payload,
+            self.payload_bytes, self.links, self.deliver_to_kernel,
+            self.forward_count, self.category,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.dest, self.sender, self.kind, self.op, self.payload,
+            self.payload_bytes, self.links, self.deliver_to_kernel,
+            self.forward_count, self.category,
+        ) = state
+        self.serial = next(_message_serial)
+        self.delivered_link_ids = ()
+
     def __repr__(self) -> str:
         flags = " D2K" if self.deliver_to_kernel else ""
         fwd = f" fwd={self.forward_count}" if self.forward_count else ""

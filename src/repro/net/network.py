@@ -21,7 +21,13 @@ from repro.net.packet import Packet
 from repro.net.reliable import DEFAULT_RTO, ReliableTransport
 from repro.net.stats import NetworkStats
 from repro.net.topology import MachineId, Topology
-from repro.sim.barrier import RECORD_KEY, HopRecord, SyncStats
+from repro.sim.barrier import (
+    RECORD_KEY,
+    HopRecord,
+    SyncStats,
+    pack_record,
+    record_entry_key,
+)
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
@@ -331,7 +337,11 @@ class ShardNetwork(Network):
     their canonical key, which makes injection timing irrelevant — so
     hops whose next stop is in this same shard skip the outbox and are
     scheduled immediately, and cross-shard outboxes wait for their
-    pair's rendezvous instead of the next global window.
+    pair's rendezvous instead of the next global window.  Cross-shard
+    outbox entries carry the record *and* its wire blob, pickled at
+    production time (:func:`~repro.sim.barrier.pack_record`), so byte
+    accounting is executor-exact and unpicklable payloads degrade to a
+    capture envelope instead of an error.
     """
 
     def __init__(
@@ -371,7 +381,9 @@ class ShardNetwork(Network):
         #: test hook: called with each delivered HopRecord (or None)
         self.on_record_delivered: Callable[[HopRecord], None] | None = None
         self._elide_grid = elide_grid
-        self._outboxes: dict[int, list[HopRecord]] = {}
+        #: classic: lists of HopRecord; elided: lists of (record, blob)
+        #: pairs — the blob packed at production time (pack_record)
+        self._outboxes: dict[int, list] = {}
         self._wire_busy: dict[tuple[MachineId, MachineId], int] = {}
         self._wire_seq: dict[tuple[MachineId, MachineId], int] = {}
         self._wire_rngs: dict[tuple[MachineId, MachineId], Any] = {}
@@ -379,24 +391,33 @@ class ShardNetwork(Network):
 
     # -- barrier handoff ------------------------------------------------
 
-    def take_outboxes(self) -> dict[int, list[HopRecord]]:
+    def take_outboxes(self) -> dict[int, list]:
         """Pending hop records keyed by destination shard (clears them).
 
         Each destination's list is sorted into canonical order here —
         at drain time, per source — so barriers merge the pre-sorted
         per-source lists instead of re-sorting the concatenation.
+        Classic entries are plain records; elided entries are
+        ``(record, blob)`` with the blob packed at production time.
         """
         outboxes = self._outboxes
         self._outboxes = {}
+        key = (
+            RECORD_KEY if self._elide_grid is None else record_entry_key
+        )
         for records in outboxes.values():
-            records.sort(key=RECORD_KEY)
+            records.sort(key=key)
         return outboxes
 
-    def take_outbox(self, dest: int) -> list[HopRecord]:
+    def take_outbox(self, dest: int) -> list:
         """Pending hop records for one destination shard, pre-sorted
-        (clears just that outbox) — the pairwise-rendezvous drain."""
+        (clears just that outbox) — the pairwise-rendezvous drain.
+        Same per-engine entry shape as :meth:`take_outboxes`."""
         records = self._outboxes.pop(dest, [])
-        records.sort(key=RECORD_KEY)
+        records.sort(
+            key=RECORD_KEY if self._elide_grid is None
+            else record_entry_key
+        )
         return records
 
     def receive_record(self, record: HopRecord) -> None:
@@ -503,8 +524,11 @@ class ShardNetwork(Network):
                 if direct:
                     self.receive_record(record)
                 else:
+                    # Pack the wire blob *now*: the producing shard's
+                    # state at this instant is executor-independent,
+                    # so counted bytes (and shipped bytes) are too.
                     self._outboxes.setdefault(dest_shard, []).append(
-                        record
+                        (record, pack_record(record))
                     )
         self._wire_busy[wire_key] = busy
         self._wire_seq[wire_key] = seq

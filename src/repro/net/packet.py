@@ -52,6 +52,30 @@ class Packet:
         """Total bytes on the wire, header included."""
         return PACKET_HEADER_BYTES + self.payload_bytes
 
+    def __getstate__(self) -> tuple:
+        """Positional wire form: every field except ``serial``.
+
+        The serial is an address-space-local diagnostic id; a forked
+        shard's counter diverges from the serial executor's shared one,
+        so keeping it out of the pickle makes cross-shard blob bytes
+        identical under every executor.  Unpickling mints a fresh local
+        serial, preserving uniqueness within the receiving process.
+        Positional (not a dict) because per-record wire blobs cannot
+        share pickle memos — field-name keys would be repeated bytes on
+        every record.
+        """
+        return (
+            self.src, self.dst, self.kind, self.seq,
+            self.payload, self.payload_bytes, self.category,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.src, self.dst, self.kind, self.seq,
+            self.payload, self.payload_bytes, self.category,
+        ) = state
+        self.serial = next(_packet_serial)
+
     def __repr__(self) -> str:
         return (
             f"Packet(#{self.serial} {self.src}->{self.dst}"

@@ -56,19 +56,55 @@ horizon phase (hops traverse physical wires, so no record can be
 addressed to a wireless pair); the drain phase keeps all-pairs rounds
 — global quiescence is not locally detectable on a sparse exchange
 graph — but strides each round by the shard's minimum incident pair
-period (:func:`drain_step`).  :class:`ElidedSerialRunner` and
-:class:`ElidedWorkerBarrier` implement the schedule; both count their
-synchronisation traffic in :class:`SyncStats` (rounds, records, bytes
-— the bytes of the same pickled blobs the fork transport ships).
+period (:func:`drain_step`).
+
+**Run-ahead** makes the rendezvous schedule event-driven instead of
+purely periodic.  At each meeting the two sides exchange, alongside
+their records, their next pending event time and the earliest
+rendezvous of any *other* incident pair; from those both compute the
+same *activity bound* — the earliest instant either shard can possibly
+execute anything new (its own head, a record just injected, or an
+injection by a third shard, whose records never arrive before the
+meeting that delivers them).  Any record produced by an event at
+``p >= act`` arrives at ``>= p + period``, so the pair's next meeting
+is pushed out to ``min(act_i, act_j) + period`` snapped down to the
+period grid: every grid window in between runs back-to-back with no
+barrier touch.  A pair with no wake source at all *parks* (meets again
+only when re-armed).  Two clamps keep the meeting-before-arrival
+invariant when new work appears from outside the simulation: entering
+``run()`` re-arms every pair to its first period multiple after the
+resumed clock (driver code may have scheduled anything), and firing a
+barrier action re-arms every pair to its first period multiple after
+the action tick (the action may have scheduled events or emitted
+records).  Extra meetings are always safe; late ones never happen.
+
+:class:`ElidedSerialRunner` and :class:`ElidedWorkerBarrier` implement
+the schedule; both count their synchronisation traffic in
+:class:`SyncStats` (rounds, records, bytes).  Byte counts are
+*executor-exact*: every cross-shard record is pickled once, at
+production time (:func:`pack_record` — the producing shard's state at
+that instant is identical under every executor), and rendezvous frames
+carry those per-record blobs, so the serial runner counts the very
+bytes a forked worker ships.  A payload that cannot pickle (a live
+process generator mid-migration) is *captured*: the frame carries a
+:class:`CapturedPayload` stand-in with deterministic bytes while the
+live record object rides the serial runners' in-process injection
+untouched — so live-generator migration works on both serial engines;
+only the forked executor, which must rehydrate from the blob, refuses
+it.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from heapq import merge as _heapq_merge
 from operator import attrgetter
 from typing import TYPE_CHECKING, Any, Iterable, Protocol
+
+from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from multiprocessing.connection import Connection
@@ -93,6 +129,18 @@ class HopRecord:
     packet: Any  #: the in-flight :class:`~repro.net.packet.Packet`
     gen: int = 0  #: grid window of production (barrier-elision key)
 
+    def __getstate__(self) -> tuple:
+        """Positional wire state: every record blob repeats this class,
+        so field-name dict keys would be pure overhead on the pipe."""
+        return (
+            self.arrival, self.src, self.dst, self.wire_seq,
+            self.packet, self.gen,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
+
 
 #: Canonical barrier injection order (see module docstring).
 RECORD_KEY = attrgetter("arrival", "src", "dst", "wire_seq")
@@ -107,6 +155,120 @@ WIRE_PICKLE_PROTOCOL = min(pickle.HIGHEST_PROTOCOL, 5)
 def pack_blob(payload: Any) -> bytes:
     """Pickle one barrier message into the blob the pipe carries."""
     return pickle.dumps(payload, WIRE_PICKLE_PROTOCOL)
+
+
+@dataclass(frozen=True, slots=True)
+class CapturedPayload:
+    """Wire stand-in for a packet that cannot pickle (capture envelope).
+
+    A live process generator mid-migration has no byte form, but its
+    hop record still needs a deterministic wire frame: the record's
+    blob carries this pure-data surrogate instead (same declared sizes,
+    so byte accounting stays executor-independent), while the live
+    record object itself is what the serial runners inject.  A forked
+    worker that rehydrates one of these refuses the run — there is no
+    live object on its side of the pipe to fall back to.
+    """
+
+    kind: str  #: class name of the packet that could not pickle
+    size_bytes: int  #: the packet's declared wire size
+
+
+#: lazily built identity-stable objects every record blob references —
+#: the classes and enum members of the wire vocabulary.  Packing each
+#: record standalone loses the memo sharing a whole-outbox pickle gets,
+#: so these are replaced by short persistent-id tokens instead of
+#: repeating ``module.QualName`` boilerplate in every blob.
+_WIRE_ATOMS: tuple[Any, ...] = ()
+_WIRE_ATOM_TOKENS: dict[int, int] = {}
+
+
+def _wire_atom_tokens() -> dict[int, int]:
+    global _WIRE_ATOMS, _WIRE_ATOM_TOKENS
+    if not _WIRE_ATOMS:
+        from repro.kernel.ids import ProcessAddress, ProcessId
+        from repro.kernel.links import (
+            DataArea,
+            Link,
+            LinkAttribute,
+            LinkSnapshot,
+        )
+        from repro.kernel.messages import Message, MessageKind
+        from repro.net.packet import Packet, PacketKind
+
+        _WIRE_ATOMS = (
+            HopRecord, CapturedPayload,
+            Packet, PacketKind, *PacketKind,
+            Message, MessageKind, *MessageKind,
+            ProcessId, ProcessAddress,
+            LinkSnapshot, LinkAttribute, *LinkAttribute,
+            DataArea, Link,
+        )
+        _WIRE_ATOM_TOKENS = {
+            id(atom): token for token, atom in enumerate(_WIRE_ATOMS)
+        }
+    return _WIRE_ATOM_TOKENS
+
+
+class _RecordPickler(pickle.Pickler):
+    """Record pickler with the wire vocabulary tokenised."""
+
+    def persistent_id(self, obj: Any) -> int | None:
+        return _wire_atom_tokens().get(id(obj))
+
+
+class _RecordUnpickler(pickle.Unpickler):
+    """Inverse of :class:`_RecordPickler`."""
+
+    def persistent_load(self, pid: int) -> Any:
+        _wire_atom_tokens()
+        return _WIRE_ATOMS[pid]
+
+
+def unpack_record(blob: bytes) -> HopRecord:
+    """One record back from its :func:`pack_record` wire blob."""
+    return _RecordUnpickler(io.BytesIO(blob)).load()
+
+
+def pack_record(record: HopRecord) -> bytes:
+    """One cross-shard record's wire blob, packed at production time.
+
+    Packing at the production instant — not at the rendezvous — is
+    what makes byte counts executor-exact: the producing shard's
+    object graph at that instant is identical whether it runs in the
+    shared serial process or in a forked worker, whereas by rendezvous
+    time a serial peer may have mutated shared state a worker could
+    never see.  Payloads that cannot pickle are captured (see
+    :class:`CapturedPayload`).
+    """
+    try:
+        return _pack_record_blob(record)
+    except Exception:
+        packet = record.packet
+        surrogate = HopRecord(
+            record.arrival,
+            record.src,
+            record.dst,
+            record.wire_seq,
+            CapturedPayload(
+                type(packet).__name__,
+                getattr(packet, "size_bytes", 0),
+            ),
+            record.gen,
+        )
+        return _pack_record_blob(surrogate)
+
+
+def _pack_record_blob(record: HopRecord) -> bytes:
+    buffer = io.BytesIO()
+    _RecordPickler(buffer, WIRE_PICKLE_PROTOCOL).dump(record)
+    return buffer.getvalue()
+
+
+def record_entry_key(entry: "tuple[HopRecord, bytes]"):
+    """Canonical order for the ``(record, blob)`` outbox entries the
+    elided engine keeps (the blob tags along, the record decides)."""
+    return RECORD_KEY(entry[0])
 
 
 def merge_sorted_records(
@@ -257,11 +419,17 @@ def rendezvous_schedule(
 ) -> list[tuple[int, int, int]]:
     """Every ``(time, i, j)`` rendezvous up to *horizon*, globally sorted.
 
-    Pair ``(i, j)`` meets at every multiple of its period.  The sorted
-    order is the processing order on every worker: each worker walks
-    its own pairs' events in this order, and because the globally
-    least unprocessed rendezvous is the least *local* rendezvous of
-    both its participants, some pair can always meet — no deadlock.
+    The *static* cadence: pair ``(i, j)`` meets at every multiple of
+    its period.  Run-ahead (the dynamic schedule the runners actually
+    walk) only ever *skips* meetings from this set forward along the
+    period grid, so this is its upper bound — benchmarks compare the
+    two to measure rounds saved.  The sorted order is the processing
+    order on every worker: each worker walks its own pairs' events in
+    this order, and because the globally least unprocessed rendezvous
+    is the least *local* rendezvous of both its participants, some
+    pair can always meet — no deadlock (the same argument covers the
+    dynamic schedule: both members of a pair agree on its next meeting
+    time, so the total ``(t, i, j)`` order is still shared).
     """
     events = [
         (t, i, j)
@@ -270,6 +438,38 @@ def rendezvous_schedule(
     ]
     events.sort()
     return events
+
+
+def first_multiple_after(period: int, time: int) -> int:
+    """Smallest multiple of *period* strictly after *time*."""
+    return (time // period + 1) * period
+
+
+def agree_next_meeting(
+    t: int, period: int, act_a: int | None, act_b: int | None
+) -> int | None:
+    """The next rendezvous both sides of a pair commit to at meeting *t*.
+
+    ``act_*`` is one side's earliest possible future activity: its next
+    pending event, the earliest arrival this meeting just injected into
+    it, or the soonest rendezvous of any *other* incident pair — third
+    shards only influence it at meetings, and a record is always
+    delivered at or before its arrival time, so nothing woken by that
+    meeting runs earlier than the meeting itself.  Any record produced
+    by an event at ``p >= act`` arrives at ``>= p + period``, so the
+    partner may run unsynchronised through ``min(act) + period - 1``;
+    the next meeting is that ceiling snapped *down* to the period grid
+    (meetings stay on the grid so ``windows_elided`` accounting and the
+    re-arm clamps compose), never earlier than ``t + period``.  Both
+    sides with no wake source at all park the pair (``None``): each is
+    provably idle until a ``run()`` re-entry or barrier action re-arms
+    every pair.
+    """
+    act = _next_time(act_a, act_b)
+    if act is None:
+        return None
+    aligned = (act + period) // period * period
+    return max(aligned, t + period)
 
 
 class ShardPeer(Protocol):
@@ -296,18 +496,21 @@ class ShardPeer(Protocol):
         """
         ...  # pragma: no cover
 
-    def drain_outboxes(self) -> dict[int, list[HopRecord]]:
+    def drain_outboxes(self) -> dict[int, list]:
         """Take (and clear) pending records, keyed by dest shard.
 
         Each list comes back pre-sorted in canonical order, so barriers
         merge instead of re-sorting (see :func:`merge_sorted_records`).
+        Classic runners see plain :class:`HopRecord` lists; the elided
+        runners see ``(record, blob)`` entries — the blob packed at
+        production time by :func:`pack_record`.
         """
         ...  # pragma: no cover
 
-    def take_outbox(self, dest: int) -> list[HopRecord]:
+    def take_outbox(self, dest: int) -> list:
         """Take (and clear) pending records for one destination shard,
         pre-sorted — the pairwise-rendezvous flavour of
-        :meth:`drain_outboxes`."""
+        :meth:`drain_outboxes` (same per-engine entry shape)."""
         ...  # pragma: no cover
 
     def inject(self, records: list[HopRecord]) -> None:
@@ -513,27 +716,33 @@ class WorkerBarrier:
 
 
 class ElidedSerialRunner:
-    """All shards in one process on the pairwise-rendezvous schedule.
+    """All shards in one process on the run-ahead rendezvous schedule.
 
-    The horizon phase walks :func:`rendezvous_schedule`: only
-    wire-connected shard pairs ever exchange, each at its own cadence,
-    and every shard free-runs between its rendezvous (the keyed event
-    loop makes injection timing irrelevant to ordering, so there is no
-    per-window lockstep).  The drain phase — quiescence is a *global*
-    property, undetectable on a sparse exchange graph — keeps all-pairs
-    rounds but strides them by each shard's :func:`drain_step`.
+    The horizon phase walks a dynamic meeting heap: only wire-connected
+    shard pairs ever exchange, each meeting agrees on the pair's next
+    one (:func:`agree_next_meeting`), and every shard free-runs through
+    the whole safe range between its rendezvous — the keyed event loop
+    makes injection timing irrelevant to ordering, so there is no
+    per-window lockstep.  Barrier actions are supported: every shard is
+    driven to the action tick, frozen, the due actions fire in key
+    order, and all pairs re-arm to their first period multiple after
+    the tick (whatever the action did starts there, so its influence
+    cannot arrive before tick + period).  The drain phase — quiescence
+    is a *global* property, undetectable on a sparse exchange graph —
+    keeps all-pairs rounds but strides them by each shard's
+    :func:`drain_step`.
 
     Per-shard :class:`SyncStats` are filled the way the forked workers
-    fill theirs: the same schedule (so ``rounds``, record counts and
-    ``windows_elided`` are executor-exact) and the same pickled blobs.
-    Byte counts can drift from the forked numbers by a fraction of a
-    percent: this process shares one object graph across shards, so a
-    peer's address-space-private mutations (packet serial counters,
-    lazily grown dicts) are visible here at pack time but not in an
-    isolated worker.  Pickling every cross-shard record also means the
-    elided serial runner — unlike :class:`SerialBarrierRunner` — needs
-    picklable cross-shard payloads; keep live-generator cross-shard
-    migration on the classic engine.
+    fill theirs: the same meeting agreements (computed from exchanged
+    data both executors see identically, so ``rounds``, record counts
+    and ``windows_elided`` are executor-exact) and byte counts measured
+    on the same frames — per-record blobs packed at production time
+    (:func:`pack_record`) wrapped in the same rendezvous frame a worker
+    ships, so ``bytes_*`` are executor-exact too.  Records themselves
+    are injected as the original live objects (this process shares one
+    address space), which is what lets live-generator migration run
+    under elision: the unpicklable payload is captured in the frame
+    (:class:`CapturedPayload`) but never rehydrated here.
     """
 
     def __init__(
@@ -542,6 +751,7 @@ class ElidedSerialRunner:
         lookahead: int,
         pair_periods: dict[tuple[int, int], int],
         syncs: list[SyncStats] | None = None,
+        actions: BarrierActionQueue | None = None,
     ) -> None:
         if lookahead < 1:
             raise ValueError(f"lookahead must be >= 1, got {lookahead}")
@@ -551,75 +761,192 @@ class ElidedSerialRunner:
         self.syncs = (
             syncs if syncs is not None else [SyncStats() for _ in peers]
         )
+        #: global (cross-shard) actions fired between meetings
+        self.actions = actions
         self.windows = 0  #: drain-phase windows (diagnostics)
         self.records_exchanged = 0
         #: last rendezvous time completed per pair — persisted across
         #: ``run`` calls so a resumed horizon never replays a meeting
         self._last_met = dict.fromkeys(self.pair_periods, 0)
+        #: the dynamic schedule: each pair's agreed next meeting time
+        #: (None == parked); persisted across ``run`` calls and clamped
+        #: at every re-entry
+        self._next_meet: dict[tuple[int, int], int | None] = {}
+        #: clock every shard has been advanced to by completed runs
+        self._completed_through = 0
         self._drain_steps = [
             drain_step(pair_periods, s, lookahead)
             for s in range(len(peers))
         ]
 
     def run(self, horizon: int | None = None) -> None:
-        """Rendezvous schedule up to *horizon*; classic drain without."""
+        """Rendezvous schedule up to *horizon*; strided drain without."""
         if horizon is None:
             self._drain()
             return
         peers = self.peers
-        syncs = self.syncs
-        lookahead = self.lookahead
+        next_meet = self._next_meet
+        base = self._completed_through
+        # Re-arm clamp: driver code may have scheduled events at >= base
+        # between runs, so every pair must look again within one period.
+        for pair, period in self.pair_periods.items():
+            clamp = first_multiple_after(period, base)
+            agreed = next_meet.get(pair)
+            next_meet[pair] = (
+                clamp if agreed is None else min(agreed, clamp)
+            )
+        heap = [
+            (t, i, j)
+            for (i, j), t in next_meet.items()
+            if t is not None and t <= horizon
+        ]
+        heapify(heap)
         # Tick each shard has already executed through (run_until is
         # inclusive, so a rendezvous at t needs execution through t-1).
-        frontier = [-1] * len(peers)
-        last_met = self._last_met
-        for t, i, j in rendezvous_schedule(self.pair_periods, horizon):
-            if t <= last_met[(i, j)]:
-                continue  # met during an earlier run() call
-            for s in (i, j):
-                if t - 1 > frontier[s]:
-                    peers[s].run_window(t - 1)
-                    frontier[s] = t - 1
-            out_ij = peers[i].take_outbox(j)
-            out_ji = peers[j].take_outbox(i)
-            blob_ij = pack_blob(out_ij)
-            blob_ji = pack_blob(out_ji)
-            skipped = (t - last_met[(i, j)]) // lookahead - 1
-            for here, sent, received, blob_out, blob_in in (
-                (i, out_ij, out_ji, blob_ij, blob_ji),
-                (j, out_ji, out_ij, blob_ji, blob_ij),
-            ):
-                sync = syncs[here]
-                sync.rounds += 1
-                sync.bytes_sent += len(blob_out)
-                sync.bytes_received += len(blob_in)
-                sync.records_sent += len(sent)
-                sync.records_received += len(received)
-                if skipped > 0:
-                    sync.windows_elided += skipped
-            last_met[(i, j)] = t
-            self.records_exchanged += len(out_ij) + len(out_ji)
-            if out_ij:
-                peers[j].inject(out_ij)
-            if out_ji:
-                peers[i].inject(out_ji)
+        frontier = [base] * len(peers)
+        while True:
+            at = self._next_action_time(horizon)
+            bound = horizon if at is None else at
+            while heap and heap[0][0] <= bound:
+                t, i, j = heappop(heap)
+                if t != next_meet[(i, j)]:
+                    continue  # superseded by a re-arm clamp
+                self._meet(t, i, j, frontier, heap, horizon)
+            if at is None:
+                break
+            for s, peer in enumerate(peers):
+                if at - 1 > frontier[s]:
+                    peer.run_window(at - 1)
+                    frontier[s] = at - 1
+            for peer in peers:
+                peer.freeze_at(at)
+            for action in self.actions.take_due(at):
+                action.callback(*action.args)
+            # Whatever the action scheduled or emitted starts at `at`,
+            # so its influence cannot arrive before `at + period`:
+            # clamping every pair to its first period multiple after
+            # `at` restores meeting-before-arrival.  Extra meetings are
+            # always safe.
+            for pair, period in self.pair_periods.items():
+                clamp = first_multiple_after(period, at)
+                agreed = next_meet[pair]
+                if agreed is None or clamp < agreed:
+                    next_meet[pair] = clamp
+                    if clamp <= horizon:
+                        heappush(heap, (clamp, *pair))
         for s, peer in enumerate(peers):
             if horizon > frontier[s]:
                 peer.run_window(horizon)
             peer.advance_to(horizon)
+        self._completed_through = horizon
+
+    def _next_action_time(self, horizon: int) -> int | None:
+        queue = self.actions
+        if queue is None:
+            return None
+        at = queue.next_time()
+        if at is None or at > horizon:
+            return None
+        return at
+
+    def _other_pair_bound(
+        self, shard: int, exclude: tuple[int, int]
+    ) -> int | None:
+        """Earliest *other* rendezvous of *shard* — the soonest any
+        third shard can inject new work into it (records injected at a
+        meeting never have arrivals before the meeting time)."""
+        times = [
+            t
+            for pair, t in self._next_meet.items()
+            if pair != exclude and shard in pair and t is not None
+        ]
+        return min(times) if times else None
+
+    def _meet(
+        self,
+        t: int,
+        i: int,
+        j: int,
+        frontier: list[int],
+        heap: list[tuple[int, int, int]],
+        horizon: int,
+    ) -> None:
+        """One rendezvous of pair ``(i, j)`` at time *t*: run both
+        sides to ``t - 1``, exchange, and agree on the next meeting."""
+        peers = self.peers
+        syncs = self.syncs
+        pair = (i, j)
+        last = self._last_met[pair]
+        if t <= last:
+            raise SimulationError(
+                f"rendezvous replay: pair {pair} met at {last}, "
+                f"scheduled again at {t}"
+            )
+        for s in (i, j):
+            if t - 1 > frontier[s]:
+                peers[s].run_window(t - 1)
+                frontier[s] = t - 1
+        out_ij = peers[i].take_outbox(j)
+        out_ji = peers[j].take_outbox(i)
+        head_i = peers[i].next_event_time()
+        head_j = peers[j].next_event_time()
+        bound_i = self._other_pair_bound(i, pair)
+        bound_j = self._other_pair_bound(j, pair)
+        frame_ij = pack_blob(
+            ([blob for _, blob in out_ij], head_i, bound_i)
+        )
+        frame_ji = pack_blob(
+            ([blob for _, blob in out_ji], head_j, bound_j)
+        )
+        skipped = (t - last) // self.lookahead - 1
+        for here, sent, received, frame_out, frame_in in (
+            (i, out_ij, out_ji, frame_ij, frame_ji),
+            (j, out_ji, out_ij, frame_ji, frame_ij),
+        ):
+            sync = syncs[here]
+            sync.rounds += 1
+            sync.bytes_sent += len(frame_out)
+            sync.bytes_received += len(frame_in)
+            sync.records_sent += len(sent)
+            sync.records_received += len(received)
+            if skipped > 0:
+                sync.windows_elided += skipped
+        self._last_met[pair] = t
+        records_ij = [record for record, _ in out_ij]
+        records_ji = [record for record, _ in out_ji]
+        self.records_exchanged += len(records_ij) + len(records_ji)
+        if records_ij:
+            peers[j].inject(records_ij)
+        if records_ji:
+            peers[i].inject(records_ji)
+        act_i = _next_time(
+            head_i, bound_i, *(r.arrival for r in records_ji)
+        )
+        act_j = _next_time(
+            head_j, bound_j, *(r.arrival for r in records_ij)
+        )
+        nxt = agree_next_meeting(
+            t, self.pair_periods[pair], act_i, act_j
+        )
+        self._next_meet[pair] = nxt
+        if nxt is not None and nxt <= horizon:
+            heappush(heap, (nxt, i, j))
 
     def _drain(self) -> None:
         """All-pairs rounds to global quiescence, strided per shard.
 
         Mirrors what every :class:`ElidedWorkerBarrier` does in its
-        drain phase — the same rounds, blobs and per-shard strides —
+        drain phase — the same rounds, frames and per-shard strides —
         so serial and forked executions report identical sync
-        schedules.
+        schedules and byte counts.  Barrier actions registered past the
+        horizon fire here, between rounds, exactly as the classic
+        runner fires them.
         """
         peers = self.peers
         syncs = self.syncs
         count = len(peers)
         lookahead = self.lookahead
+        queue = self.actions
         while True:
             outs = [peer.drain_outboxes() for peer in peers]
             heads = [peer.next_event_time() for peer in peers]
@@ -627,8 +954,8 @@ class ElidedSerialRunner:
                 _next_time(
                     *(
                         record.arrival
-                        for records in out.values()
-                        for record in records
+                        for entries in out.values()
+                        for record, _ in entries
                     )
                 )
                 for out in outs
@@ -637,27 +964,39 @@ class ElidedSerialRunner:
             for s in range(count):
                 own = outs[s].pop(s, None)
                 if own:
-                    inbound[s].append(own)
+                    inbound[s].append([record for record, _ in own])
             for i in range(count):
                 for j in range(i + 1, count):
                     sent_ij = outs[i].pop(j, [])
                     sent_ji = outs[j].pop(i, [])
-                    blob_ij = pack_blob((sent_ij, heads[i], min_outs[i]))
-                    blob_ji = pack_blob((sent_ji, heads[j], min_outs[j]))
+                    frame_ij = pack_blob((
+                        [blob for _, blob in sent_ij],
+                        heads[i],
+                        min_outs[i],
+                    ))
+                    frame_ji = pack_blob((
+                        [blob for _, blob in sent_ji],
+                        heads[j],
+                        min_outs[j],
+                    ))
                     syncs[i].rounds += 1
                     syncs[j].rounds += 1
-                    syncs[i].bytes_sent += len(blob_ij)
-                    syncs[i].bytes_received += len(blob_ji)
-                    syncs[j].bytes_sent += len(blob_ji)
-                    syncs[j].bytes_received += len(blob_ij)
+                    syncs[i].bytes_sent += len(frame_ij)
+                    syncs[i].bytes_received += len(frame_ji)
+                    syncs[j].bytes_sent += len(frame_ji)
+                    syncs[j].bytes_received += len(frame_ij)
                     syncs[i].records_sent += len(sent_ij)
                     syncs[i].records_received += len(sent_ji)
                     syncs[j].records_sent += len(sent_ji)
                     syncs[j].records_received += len(sent_ij)
                     if sent_ij:
-                        inbound[j].append(sent_ij)
+                        inbound[j].append(
+                            [record for record, _ in sent_ij]
+                        )
                     if sent_ji:
-                        inbound[i].append(sent_ji)
+                        inbound[i].append(
+                            [record for record, _ in sent_ji]
+                        )
             for s in range(count):
                 if outs[s]:
                     leftover = sorted(outs[s])
@@ -670,28 +1009,46 @@ class ElidedSerialRunner:
                     self.records_exchanged += len(merged)
                     peers[s].inject(merged)
             nxt = _next_time(*heads, *min_outs)
+            at = queue.next_time() if queue is not None else None
+            if at is not None and (nxt is None or nxt >= at):
+                for peer in peers:
+                    peer.freeze_at(at)
+                for action in queue.take_due(at):
+                    action.callback(*action.args)
+                continue
             if nxt is None:
                 break
             # Per-shard stride: nothing new can cross into shard s
             # before nxt + its minimum incident pair period, so each
-            # round covers period/lookahead grid windows, not one.
+            # round covers period/lookahead grid windows, not one —
+            # clamped under a pending action, which must fire before
+            # any shard executes events at its tick.
             floor = window_end(nxt, lookahead) - 1
             for s, peer in enumerate(peers):
-                peer.run_window(
-                    floor + self._drain_steps[s] - lookahead
-                )
+                deadline = floor + self._drain_steps[s] - lookahead
+                if at is not None:
+                    deadline = min(deadline, at - 1)
+                peer.run_window(deadline)
             self.windows += 1
 
 
 class ElidedWorkerBarrier(WorkerBarrier):
-    """One forked shard on the pairwise-rendezvous schedule.
+    """One forked shard on the run-ahead rendezvous schedule.
 
-    The horizon phase walks this worker's slice of
-    :func:`rendezvous_schedule` (only wire-connected pairs, each at its
-    own cadence); the drain phase keeps the classic all-pairs exchange
-    but strides each round by this shard's :func:`drain_step`.
-    All-pairs pipes still exist — unconnected pairs stay silent until
-    the drain.
+    The horizon phase walks this worker's slice of the dynamic meeting
+    heap: only wire-connected pairs, each meeting agreeing on the
+    pair's next one from data both sides exchange, so every worker
+    computes the identical schedule the serial runner does — and the
+    worker touches its pipes *only* at meetings (a dead peer therefore
+    surfaces at the next rendezvous, not at a per-window barrier).  The
+    drain phase keeps the all-pairs exchange but strides each round by
+    this shard's :func:`drain_step`.  All-pairs pipes still exist —
+    unconnected pairs stay silent until the drain.
+
+    Inbound records are rehydrated from the per-record blobs in the
+    frame; a :class:`CapturedPayload` surrogate (a live object that
+    could not pickle) cannot cross a process boundary, so meeting one
+    aborts the worker with a pointer at the serial executors.
     """
 
     def __init__(
@@ -703,11 +1060,95 @@ class ElidedWorkerBarrier(WorkerBarrier):
         sync: SyncStats | None = None,
     ) -> None:
         super().__init__(index, peer_conns, lookahead, sync=sync)
-        self.pair_periods = dict(pair_periods)
+        #: only this worker's incident pairs — its slice of the schedule
+        self.pair_periods = {
+            pair: period
+            for pair, period in pair_periods.items()
+            if index in pair
+        }
         self._last_met = dict.fromkeys(self.pair_periods, 0)
+        self._next_meet: dict[tuple[int, int], int | None] = {}
+        self._completed_through = 0
         self._drain_step = drain_step(
             self.pair_periods, index, lookahead
         )
+
+    def _rehydrate(self, blob: bytes, sender: int) -> HopRecord:
+        """One inbound record from its production-time blob."""
+        record = unpack_record(blob)
+        if isinstance(record.packet, CapturedPayload):
+            raise SimulationError(
+                f"shard {self.index} received a captured "
+                f"{record.packet.kind} payload from shard {sender}: a "
+                "live cross-shard payload (e.g. a migrating process "
+                "generator) cannot cross a fork boundary — run this "
+                "scenario on a serial executor"
+            )
+        return record
+
+    def _other_pair_bound(self, exclude: tuple[int, int]) -> int | None:
+        """Earliest *other* rendezvous of this worker (see
+        :meth:`ElidedSerialRunner._other_pair_bound`)."""
+        times = [
+            t
+            for pair, t in self._next_meet.items()
+            if pair != exclude and t is not None
+        ]
+        return min(times) if times else None
+
+    def _exchange_elided(self, peer: ShardPeer) -> int | None:
+        """One all-pairs drain round over ``(record, blob)`` outboxes;
+        same frames (and counted bytes) as the serial drain."""
+        sync = self.sync
+        outboxes = peer.drain_outboxes()
+        head = peer.next_event_time()
+        min_out = _next_time(
+            *(
+                record.arrival
+                for entries in outboxes.values()
+                for record, _ in entries
+            )
+        )
+        inbound: list[list[HopRecord]] = []
+        own = outboxes.pop(self.index, None)
+        if own:
+            inbound.append([record for record, _ in own])
+        nxt = _next_time(head, min_out)
+        for j in sorted(self.peer_conns):
+            conn = self.peer_conns[j]
+            sending = outboxes.pop(j, [])
+            frame = pack_blob(
+                ([blob for _, blob in sending], head, min_out)
+            )
+            if self.index < j:
+                conn.send_bytes(frame)
+                data = conn.recv_bytes()
+            else:
+                data = conn.recv_bytes()
+                conn.send_bytes(frame)
+            their_blobs, their_head, their_min_out = pickle.loads(data)
+            their_records = [
+                self._rehydrate(blob, j) for blob in their_blobs
+            ]
+            sync.rounds += 1
+            sync.bytes_sent += len(frame)
+            sync.bytes_received += len(data)
+            sync.records_sent += len(sending)
+            sync.records_received += len(their_records)
+            if their_records:
+                inbound.append(their_records)
+            nxt = _next_time(nxt, their_head, their_min_out)
+        if outboxes:
+            leftover = sorted(outboxes)
+            raise RuntimeError(
+                f"shard {self.index} produced records for unknown "
+                f"shards {leftover}"
+            )
+        if inbound:
+            merged = merge_sorted_records(inbound)
+            self.records_exchanged += len(merged)
+            peer.inject(merged)
+        return nxt
 
     def _drain(self, peer: ShardPeer) -> None:
         """All-pairs rounds to quiescence, striding at this shard's
@@ -715,7 +1156,7 @@ class ElidedWorkerBarrier(WorkerBarrier):
         :func:`drain_step`) instead of one grid window."""
         lookahead = self.lookahead
         while True:
-            nxt = self._exchange(peer)
+            nxt = self._exchange_elided(peer)
             if nxt is None:
                 break
             floor = window_end(nxt, lookahead) - 1
@@ -728,39 +1169,82 @@ class ElidedWorkerBarrier(WorkerBarrier):
             return
         sync = self.sync
         index = self.index
-        frontier = -1
-        last_met = self._last_met
-        for t, i, j in rendezvous_schedule(self.pair_periods, horizon):
-            if index not in (i, j):
-                continue
-            if t <= last_met[(i, j)]:
-                continue  # met during an earlier run() call
+        next_meet = self._next_meet
+        base = self._completed_through
+        # Re-arm clamp at every run() entry — identical to the serial
+        # runner's, so both executors rebuild the same meeting heap.
+        for pair, period in self.pair_periods.items():
+            clamp = first_multiple_after(period, base)
+            agreed = next_meet.get(pair)
+            next_meet[pair] = (
+                clamp if agreed is None else min(agreed, clamp)
+            )
+        heap = [
+            (t, i, j)
+            for (i, j), t in next_meet.items()
+            if t is not None and t <= horizon
+        ]
+        heapify(heap)
+        frontier = base
+        while heap:
+            t, i, j = heappop(heap)
+            if t != next_meet[(i, j)]:
+                continue  # superseded by a re-arm clamp
+            pair = (i, j)
+            last = self._last_met[pair]
+            if t <= last:
+                raise SimulationError(
+                    f"rendezvous replay: pair {pair} met at {last}, "
+                    f"scheduled again at {t}"
+                )
             if t - 1 > frontier:
                 peer.run_window(t - 1)
                 frontier = t - 1
             other = j if index == i else i
             conn = self.peer_conns[other]
-            sending = peer.take_outbox(other)
-            blob = pack_blob(sending)
+            out = peer.take_outbox(other)
+            head = peer.next_event_time()
+            bound = self._other_pair_bound(pair)
+            frame = pack_blob(
+                ([blob for _, blob in out], head, bound)
+            )
             if index < other:
-                conn.send_bytes(blob)
+                conn.send_bytes(frame)
                 data = conn.recv_bytes()
             else:
                 data = conn.recv_bytes()
-                conn.send_bytes(blob)
-            inbound = pickle.loads(data)
+                conn.send_bytes(frame)
+            their_blobs, their_head, their_bound = pickle.loads(data)
+            inbound = [
+                self._rehydrate(blob, other) for blob in their_blobs
+            ]
             sync.rounds += 1
-            sync.bytes_sent += len(blob)
+            sync.bytes_sent += len(frame)
             sync.bytes_received += len(data)
-            sync.records_sent += len(sending)
+            sync.records_sent += len(out)
             sync.records_received += len(inbound)
-            skipped = (t - last_met[(i, j)]) // self.lookahead - 1
+            skipped = (t - last) // self.lookahead - 1
             if skipped > 0:
                 sync.windows_elided += skipped
-            last_met[(i, j)] = t
+            self._last_met[pair] = t
             if inbound:
                 self.records_exchanged += len(inbound)
                 peer.inject(inbound)
+            act_mine = _next_time(
+                head, bound, *(r.arrival for r in inbound)
+            )
+            act_theirs = _next_time(
+                their_head,
+                their_bound,
+                *(record.arrival for record, _ in out),
+            )
+            nxt = agree_next_meeting(
+                t, self.pair_periods[pair], act_mine, act_theirs
+            )
+            next_meet[pair] = nxt
+            if nxt is not None and nxt <= horizon:
+                heappush(heap, (nxt, i, j))
         if horizon > frontier:
             peer.run_window(horizon)
         peer.advance_to(horizon)
+        self._completed_through = horizon

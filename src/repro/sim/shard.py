@@ -346,6 +346,7 @@ class ShardedSystem:
                     self.plan.lookahead,
                     self.plan.pair_periods,
                     syncs=[shard.network.sync for shard in self.shards],
+                    actions=self._barrier_actions,
                 )
             )
         else:
@@ -424,17 +425,14 @@ class ShardedSystem:
         grid (a multiple of ``plan.lookahead``); *key* is pure data and
         orders same-tick actions deterministically.
 
-        Serial executor only: the forked workers have no global
-        rendezvous a cross-shard mutation could ride on, and barrier
-        elision replaces the global window schedule with pairwise
-        rendezvous, so neither supports barrier actions.
+        Both serial engines support this: the classic runner fires due
+        actions between windows, and the elided runner drives every
+        shard to the action tick, fires, and re-arms its rendezvous
+        schedule (the action's influence cannot arrive anywhere before
+        tick + pair period, so clamped meetings stay conservative).
+        Only the forked executor refuses — its workers have no global
+        rendezvous a cross-shard mutation could ride on.
         """
-        if self.config.barrier_elision:
-            raise SimulationError(
-                "barrier actions need the classic window schedule; "
-                "barrier elision has no global rendezvous to align "
-                "them to"
-            )
         try:
             self._barrier_actions.add(time, key, callback, *args)
         except ValueError as exc:
@@ -636,9 +634,10 @@ class ShardedSystem:
             codes = {i: workers[i].exitcode for i in failed}
             raise SimulationError(
                 f"shard worker(s) {failed} died (exit codes {codes}); "
-                "a common cause is an unpicklable cross-shard payload "
-                "(e.g. migrating a live process between shards) — "
-                "use the serial executor for such scenarios"
+                "a common cause is a live cross-shard payload (e.g. "
+                "migrating a live process generator between shards), "
+                "which cannot cross a fork boundary — the serial "
+                "executors (classic and elided) support it"
             )
         return results
 

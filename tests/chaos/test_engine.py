@@ -240,16 +240,29 @@ class TestEngineDiscipline:
             FaultEvent(10_000, "crash", "machine 3 -> executor 1"),
         ]
 
-    def test_sharded_crash_refused_under_barrier_elision(self):
+    def test_sharded_crash_under_barrier_elision(self):
+        # Run-ahead elision supports barrier actions in the serial
+        # executors: the runner drives every shard to the action tick,
+        # fires it frozen, and re-arms the rendezvous schedule.
         system = ShardedSystem(SystemConfig(
             machines=4, topology="torus", latency=1_000, shards=2,
             barrier_elision=True, backbone_latency=1_000,
         ))
+        pid = system.spawn(parked, machine=3, name="victim")
         engine = ChaosEngine(system, ChaosScenario(
             "t", (CrashMachine(at=10_000, machine=3, executor=1),),
         ))
-        with pytest.raises(SimulationError, match="elision"):
-            engine.install()
+        engine.install()
+        system.drain()
+        assert system.kernel(3).crashed
+        assert pid in system.kernel(1).processes
+        assert engine.counts == {"crash": 1}
+        assert engine.crash_reports[0].recovered == [pid]
+        for shard in system.shards:
+            assert shard.network.effective_destination(3) == 1
+        assert engine.ledger() == [
+            FaultEvent(10_000, "crash", "machine 3 -> executor 1"),
+        ]
 
     def test_sharded_storm_runs_and_ledgers(self):
         system = ShardedSystem(SystemConfig(

@@ -33,15 +33,20 @@ class TestAccounting:
         def client(ctx):
             for _ in range(3):
                 reply_link = yield ctx.create_link()
-                yield ctx.send(ctx.bootstrap["server"], op="q",
-                              payload_bytes=100, links=(reply_link,))
+                yield ctx.send(
+                    ctx.bootstrap["server"],
+                    op="q",
+                    payload_bytes=100,
+                    links=(reply_link,),
+                )
                 yield ctx.receive()
                 yield ctx.destroy_link(reply_link)
             yield ctx.receive()  # park for inspection
 
         server_pid = system.spawn(server, machine=0)
         client_pid = system.kernel(1).spawn(
-            client, name="client",
+            client,
+            name="client",
             extra_links={"server": ProcessAddress(server_pid, 0)},
         )
         drain(system)
@@ -69,8 +74,7 @@ class TestAccounting:
 
         for _ in range(3):
             system.kernel(2).send_to_process(
-                ProcessAddress(pid, 0), "stale", {},
-                kind=MessageKind.USER,
+                ProcessAddress(pid, 0), "stale", {}, kind=MessageKind.USER
             )
             drain(system)
         accounting = system.process_state(pid).accounting

@@ -38,8 +38,14 @@ class TestSugar:
         assert call == Send(5, "msg", None, 32, (), False)
 
     def test_send_full(self):
-        call = make_ctx().send(5, op="x", payload=1, payload_bytes=9,
-                               links=(1, 2), deliver_to_kernel=True)
+        call = make_ctx().send(
+            5,
+            op="x",
+            payload=1,
+            payload_bytes=9,
+            links=(1, 2),
+            deliver_to_kernel=True,
+        )
         assert isinstance(call, Send)
         assert call.links == (1, 2) and call.deliver_to_kernel
 
@@ -113,7 +119,8 @@ class TestRebinding:
             yield ctx.exit()
 
         system.kernel(1).spawn(
-            traveller, name="traveller",
+            traveller,
+            name="traveller",
             extra_links={"sink": ProcessAddress(sink_pid, 0)},
         )
         drain(system)

@@ -15,8 +15,9 @@ def make_owner(area_length=4_096, writable=False, park=True):
         if writable:
             attrs |= LinkAttribute.DATA_WRITE
         data_link = yield ctx.create_link(attrs, DataArea(0, area_length))
-        yield ctx.send(ctx.bootstrap["holder"], op="here-is-the-area",
-                      links=(data_link,))
+        yield ctx.send(
+            ctx.bootstrap["holder"], op="here-is-the-area", links=(data_link,)
+        )
         if park:
             while True:
                 yield ctx.receive()
@@ -44,7 +45,8 @@ def make_holder(direction, offset, length, outcome):
 def wire_up(system, owner_machine, holder_machine, owner, holder):
     holder_pid = system.kernel(holder_machine).spawn(holder, name="holder")
     system.kernel(owner_machine).spawn(
-        owner, name="owner",
+        owner,
+        name="owner",
         extra_links={"holder": ProcessAddress(holder_pid, holder_machine)},
     )
     return holder_pid
@@ -54,14 +56,18 @@ class TestRead:
     def test_remote_read_completes_with_byte_count(self):
         system = make_bare_system()
         outcome = {}
-        wire_up(system, 0, 1, make_owner(), make_holder("read", 0, 3_000, outcome))
+        wire_up(
+            system, 0, 1, make_owner(), make_holder("read", 0, 3_000, outcome)
+        )
         drain(system)
         assert outcome["moved"] == 3_000
 
     def test_read_streams_in_packets(self):
         system = make_bare_system(max_data_packet=512)
         outcome = {}
-        wire_up(system, 0, 1, make_owner(), make_holder("read", 0, 2_048, outcome))
+        wire_up(
+            system, 0, 1, make_owner(), make_holder("read", 0, 2_048, outcome)
+        )
         drain(system)
         assert outcome["moved"] == 2_048
         # ceil(2048/512) = 4 chunks in the datamove category.
@@ -70,7 +76,9 @@ class TestRead:
     def test_local_read_uses_no_network(self):
         system = make_bare_system()
         outcome = {}
-        wire_up(system, 0, 0, make_owner(), make_holder("read", 0, 2_000, outcome))
+        wire_up(
+            system, 0, 0, make_owner(), make_holder("read", 0, 2_000, outcome)
+        )
         before = system.network.stats.packets_sent
         drain(system)
         assert outcome["moved"] == 2_000
@@ -80,7 +88,9 @@ class TestRead:
         system = make_bare_system()
         outcome = {}
         wire_up(
-            system, 0, 1,
+            system,
+            0,
+            1,
             make_owner(area_length=1_000),
             make_holder("read", 500, 1_000, outcome),
         )
@@ -94,7 +104,7 @@ class TestRead:
         def owner(ctx):
             # DATA_WRITE only: reads must be refused.
             link = yield ctx.create_link(
-                LinkAttribute.DATA_WRITE, DataArea(0, 1_000),
+                LinkAttribute.DATA_WRITE, DataArea(0, 1_000)
             )
             yield ctx.send(ctx.bootstrap["holder"], op="area", links=(link,))
             while True:
@@ -110,7 +120,9 @@ class TestWrite:
         system = make_bare_system()
         outcome = {}
         wire_up(
-            system, 0, 1,
+            system,
+            0,
+            1,
             make_owner(writable=True),
             make_holder("write", 0, 2_500, outcome),
         )
@@ -121,7 +133,9 @@ class TestWrite:
         system = make_bare_system()
         outcome = {}
         wire_up(
-            system, 0, 1,
+            system,
+            0,
+            1,
             make_owner(writable=False),
             make_holder("write", 0, 100, outcome),
         )
@@ -132,7 +146,9 @@ class TestWrite:
         system = make_bare_system()
         outcome = {}
         wire_up(
-            system, 0, 1,
+            system,
+            0,
+            1,
             make_owner(writable=True),
             make_holder("sideways", 0, 100, outcome),
         )
@@ -157,7 +173,8 @@ class TestTransferVsMigration:
 
         holder_pid = system.kernel(1).spawn(holder, name="holder")
         owner_pid = system.kernel(0).spawn(
-            make_owner(), name="owner",
+            make_owner(),
+            name="owner",
             extra_links={"holder": ProcessAddress(holder_pid, 1)},
         )
         system.run(until=5_000)
@@ -200,14 +217,12 @@ class TestTransferVsMigration:
             yield ctx.exit()
 
         holder_pid = wire_up(
-            system, 0, 1, make_owner(area_length=6_144), holder,
+            system, 0, 1, make_owner(area_length=6_144), holder
         )
         # Migrate the holder while chunks are in flight: the area link
         # arrives ~2ms (one wire latency), the read request ~4ms, and the
         # 24 chunks land from ~6ms — so at 4.5ms the transfer is pending.
-        system.loop.call_at(
-            4_500, lambda: system.migrate(holder_pid, 2),
-        )
+        system.loop.call_at(4_500, lambda: system.migrate(holder_pid, 2))
         drain(system)
         assert outcome["moved"] == 6_144
         assert outcome["machine"] == 2

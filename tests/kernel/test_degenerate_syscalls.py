@@ -61,7 +61,7 @@ class TestDegenerateArguments:
             yield ctx.exit()
 
         system.kernel(1).spawn(
-            sender, extra_links={"peer": ProcessAddress(receiver_pid, 0)},
+            sender, extra_links={"peer": ProcessAddress(receiver_pid, 0)}
         )
         drain(system)
         assert got == [(None, ())]
@@ -75,7 +75,7 @@ class TestDegenerateArguments:
 
         def owner(ctx):
             link = yield ctx.create_link(
-                LinkAttribute.DATA_READ, DataArea(0, 100),
+                LinkAttribute.DATA_READ, DataArea(0, 100)
             )
             yield ctx.send(ctx.bootstrap["holder"], op="a", links=(link,))
             while True:
@@ -84,14 +84,15 @@ class TestDegenerateArguments:
         def holder(ctx):
             msg = yield ctx.receive()
             moved = yield ctx.move_data(
-                msg.delivered_link_ids[0], "read", 0, 0,
+                msg.delivered_link_ids[0], "read", 0, 0
             )
             done["moved"] = moved
             yield ctx.exit()
 
         holder_pid = system.kernel(1).spawn(holder, name="holder")
         system.kernel(0).spawn(
-            owner, name="owner",
+            owner,
+            name="owner",
             extra_links={"holder": ProcessAddress(holder_pid, 1)},
         )
         drain(system)

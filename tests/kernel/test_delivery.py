@@ -2,7 +2,12 @@
 DELIVERTOKERNEL control, and undeliverable handling."""
 
 from repro.kernel.ids import ProcessAddress
-from repro.kernel.ops import OP_STOP_PROCESS, OP_START_PROCESS, OP_UNDELIVERABLE
+from repro.kernel.messages import MessageKind
+from repro.kernel.ops import (
+    OP_STOP_PROCESS,
+    OP_START_PROCESS,
+    OP_UNDELIVERABLE,
+)
 from repro.kernel.process_state import ProcessStatus
 from tests.conftest import drain, make_bare_system
 
@@ -10,7 +15,8 @@ from tests.conftest import drain, make_bare_system
 def spawn_with_peer(system, program, machine, peer_pid, peer_machine, name=""):
     """Spawn *program* with a bootstrap link 'peer' to another process."""
     return system.kernel(machine).spawn(
-        program, name=name,
+        program,
+        name=name,
         extra_links={"peer": ProcessAddress(peer_pid, peer_machine)},
     )
 
@@ -23,14 +29,19 @@ class TestBasicDelivery:
         def server(ctx):
             msg = yield ctx.receive()
             log.append(("got", msg.op, msg.payload))
-            yield ctx.send(msg.delivered_link_ids[0], op="reply",
-                          payload=msg.payload * 2)
+            yield ctx.send(
+                msg.delivered_link_ids[0], op="reply", payload=msg.payload * 2
+            )
             yield ctx.exit()
 
         def client(ctx):
             reply_link = yield ctx.create_link()
-            yield ctx.send(ctx.bootstrap["peer"], op="req", payload=21,
-                          links=(reply_link,))
+            yield ctx.send(
+                ctx.bootstrap["peer"],
+                op="req",
+                payload=21,
+                links=(reply_link,),
+            )
             msg = yield ctx.receive()
             log.append(("reply", msg.payload))
             yield ctx.exit()
@@ -92,8 +103,7 @@ class TestBasicDelivery:
         def client(ctx):
             a = yield ctx.create_link()
             b = yield ctx.create_link()
-            yield ctx.send(ctx.bootstrap["peer"], op="two-links",
-                          links=(a, b))
+            yield ctx.send(ctx.bootstrap["peer"], op="two-links", links=(a, b))
             yield ctx.exit()
 
         server_pid = system.spawn(server, machine=0)
@@ -116,8 +126,9 @@ class TestBasicDelivery:
         def middle(ctx):  # B: receives a link to A, forwards it to C
             msg = yield ctx.receive()
             link_to_a = msg.delivered_link_ids[0]
-            yield ctx.send(ctx.bootstrap["peer"], op="pass",
-                          links=(link_to_a,))
+            yield ctx.send(
+                ctx.bootstrap["peer"], op="pass", links=(link_to_a,)
+            )
             yield ctx.exit()
 
         def last(ctx):  # C: uses the twice-passed link
@@ -131,12 +142,16 @@ class TestBasicDelivery:
 
         # Seed B with a link to A.
         def seeder(ctx):
-            yield ctx.send(ctx.bootstrap["peer"], op="seed",
-                          links=(ctx.bootstrap["to_a"],))
+            yield ctx.send(
+                ctx.bootstrap["peer"],
+                op="seed",
+                links=(ctx.bootstrap["to_a"],),
+            )
             yield ctx.exit()
 
         system.kernel(1).spawn(
-            seeder, name="seeder",
+            seeder,
+            name="seeder",
             extra_links={
                 "peer": ProcessAddress(b_pid, 1),
                 "to_a": ProcessAddress(a_pid, 0),
@@ -159,7 +174,9 @@ class TestDeliverToKernel:
         victim_pid = system.spawn(victim, machine=0)
         kernel = system.kernel(1)
         kernel.send_to_process(
-            ProcessAddress(victim_pid, 0), OP_STOP_PROCESS, {},
+            ProcessAddress(victim_pid, 0),
+            OP_STOP_PROCESS,
+            {},
             deliver_to_kernel=True,
         )
         system.run(until=20_000)
@@ -168,7 +185,9 @@ class TestDeliverToKernel:
         stopped_at = len(progress)
 
         kernel.send_to_process(
-            ProcessAddress(victim_pid, 0), OP_START_PROCESS, {},
+            ProcessAddress(victim_pid, 0),
+            OP_START_PROCESS,
+            {},
             deliver_to_kernel=True,
         )
         system.run(until=40_000)
@@ -186,18 +205,23 @@ class TestDeliverToKernel:
         waiter_pid = system.spawn(waiter, machine=0)
         kernel = system.kernel(1)
         addr = ProcessAddress(waiter_pid, 0)
-        kernel.send_to_process(addr, OP_STOP_PROCESS, {},
-                               deliver_to_kernel=True)
+        kernel.send_to_process(
+            addr, OP_STOP_PROCESS, {}, deliver_to_kernel=True
+        )
         system.run(until=5_000)
-        assert system.process_state(waiter_pid).status is ProcessStatus.SUSPENDED
-        kernel.send_to_process(addr, OP_START_PROCESS, {},
-                               deliver_to_kernel=True)
+        assert (
+            system.process_state(waiter_pid).status is ProcessStatus.SUSPENDED
+        )
+        kernel.send_to_process(
+            addr, OP_START_PROCESS, {}, deliver_to_kernel=True
+        )
         system.run(until=10_000)
-        assert system.process_state(waiter_pid).status is ProcessStatus.WAITING_MESSAGE
+        assert (
+            system.process_state(waiter_pid).status
+            is ProcessStatus.WAITING_MESSAGE
+        )
         # A message still wakes it normally afterwards.
-        kernel.send_to_process(addr, "poke", {}, kind=__import__(
-            "repro.kernel.messages", fromlist=["MessageKind"]
-        ).MessageKind.USER)
+        kernel.send_to_process(addr, "poke", {}, kind=MessageKind.USER)
         drain(system)
         assert got == ["poke"]
 
@@ -235,8 +259,7 @@ class TestUndeliverable:
             yield ctx.exit()
 
         system.kernel(1).spawn(
-            client,
-            extra_links={"peer": ProcessAddress(ProcessId(0, 999), 0)},
+            client, extra_links={"peer": ProcessAddress(ProcessId(0, 999), 0)}
         )
         drain(system)
         assert notices == [OP_UNDELIVERABLE]

@@ -215,7 +215,8 @@ class TestSleepAndTimers:
         receiver_pid = system.spawn(receiver, machine=0)
         kernel = system.kernel(1)
         kernel.spawn(
-            lambda ctx: sender(ctx, receiver_pid), name="sender",
+            lambda ctx: sender(ctx, receiver_pid),
+            name="sender",
             extra_links={"peer": ProcessAddress(receiver_pid, 0)},
         )
         drain(system)
@@ -247,8 +248,7 @@ class TestLinks:
         def program(ctx):
             try:
                 yield ctx.create_link(
-                    LinkAttribute.DATA_READ,
-                    DataArea(0, 10**9),
+                    LinkAttribute.DATA_READ, DataArea(0, 10**9)
                 )
             except Exception as exc:
                 caught.append(type(exc).__name__)

@@ -80,7 +80,7 @@ class TestForwardingBehaviour:
         drain(system)
         # Stale address: still names machine 0.
         system.kernel(1).send_to_process(
-            ProcessAddress(pid, 0), "stale", {}, kind=MessageKind.USER,
+            ProcessAddress(pid, 0), "stale", {}, kind=MessageKind.USER
         )
         drain(system)
         assert got == [("stale", 2, 1)]
@@ -91,7 +91,7 @@ class TestForwardingBehaviour:
         system.migrate(pid, 1)
         drain(system)
         system.kernel(2).send_to_process(
-            ProcessAddress(pid, 0), "x", {}, kind=MessageKind.USER,
+            ProcessAddress(pid, 0), "x", {}, kind=MessageKind.USER
         )
         drain(system)
         hits = system.tracer.records("forward", "hit")
@@ -112,7 +112,7 @@ class TestForwardingBehaviour:
             system.migrate(pid, dest)
             drain(system)
         system.kernel(0).send_to_process(
-            ProcessAddress(pid, 0), "chase", {}, kind=MessageKind.USER,
+            ProcessAddress(pid, 0), "chase", {}, kind=MessageKind.USER
         )
         drain(system)
         assert got["hops"] == 3  # 0 -> 1 -> 2 -> 3
@@ -132,7 +132,7 @@ class TestForwardingBehaviour:
         # Process is IN_MIGRATION on machine 0; this message must be held
         # in its queue and travel with the pending-message forwarding.
         system.kernel(0).send_to_process(
-            ProcessAddress(pid, 0), "mid-flight", {}, kind=MessageKind.USER,
+            ProcessAddress(pid, 0), "mid-flight", {}, kind=MessageKind.USER
         )
         state = system.kernel(0).processes[pid]
         assert state.status is ProcessStatus.IN_MIGRATION
@@ -147,7 +147,7 @@ class TestForwardingBehaviour:
         drain(system)
         for _ in range(4):
             system.kernel(2).send_to_process(
-                ProcessAddress(pid, 0), "spam", {}, kind=MessageKind.USER,
+                ProcessAddress(pid, 0), "spam", {}, kind=MessageKind.USER
             )
         drain(system)
         assert system.kernel(0).stats.messages_forwarded == 4

@@ -26,9 +26,7 @@ BOUNDED = settings(
 )
 
 #: a small universe of processes and machines keeps collisions frequent
-pids = st.integers(min_value=1, max_value=4).map(
-    lambda n: ProcessId(0, n)
-)
+pids = st.integers(min_value=1, max_value=4).map(lambda n: ProcessId(0, n))
 machines = st.integers(min_value=0, max_value=3)
 
 
@@ -108,9 +106,11 @@ def server_program(ctx):
         msg = yield ctx.receive()
         if msg.delivered_link_ids:
             reply = msg.delivered_link_ids[0]
-            yield ctx.send(reply, op="reply",
-                          payload={"machine": ctx.machine,
-                                   "fwd": msg.forward_count})
+            yield ctx.send(
+                reply,
+                op="reply",
+                payload={"machine": ctx.machine, "fwd": msg.forward_count},
+            )
             yield ctx.destroy_link(reply)
 
 
@@ -118,8 +118,12 @@ def make_probe(transcript, rounds=2, gap=5_000):
     def probe(ctx):
         for i in range(rounds):
             reply_link = yield ctx.create_link()
-            yield ctx.send(ctx.bootstrap["server"], op="ping", payload=i,
-                          links=(reply_link,))
+            yield ctx.send(
+                ctx.bootstrap["server"],
+                op="ping",
+                payload=i,
+                links=(reply_link,),
+            )
             msg = yield ctx.receive()
             transcript.append(msg.payload["fwd"])
             yield ctx.destroy_link(reply_link)
@@ -155,7 +159,8 @@ class TestSystemConvergenceProperties:
 
         transcript = []
         probe_pid = system.kernel(client_machine).spawn(
-            make_probe(transcript), name="probe",
+            make_probe(transcript),
+            name="probe",
             extra_links={"server": ProcessAddress(server_pid, 0)},
         )
         drain(system)
@@ -166,9 +171,7 @@ class TestSystemConvergenceProperties:
         table = system.process_state(probe_pid).link_table
         links = table.links_to(server_pid)
         assert links
-        assert all(
-            lk.address.last_known_machine == here for lk in links
-        )
+        assert all(lk.address.last_known_machine == here for lk in links)
         # ... and the second message needed at most one forward.  (Not
         # always zero: an update from a nearby hop can arrive after the
         # update from a farther one and regress the table by a single

@@ -17,7 +17,9 @@ from repro.kernel.links import (
 
 
 def addr(machine=0, local=1, at=None):
-    return ProcessAddress(ProcessId(machine, local), at if at is not None else machine)
+    return ProcessAddress(
+        ProcessId(machine, local), at if at is not None else machine
+    )
 
 
 class TestLink:
@@ -132,7 +134,9 @@ class TestLinkTable:
         assert changed == 2
         for link in table.links_to(ProcessId(0, 1)):
             assert link.address.last_known_machine == 5
-        assert table.links_to(ProcessId(0, 2))[0].address.last_known_machine == 0
+        assert (
+        table.links_to(ProcessId(0, 2))[0].address.last_known_machine == 0
+    )
 
     def test_retarget_all_skips_already_current(self):
         table = LinkTable()

@@ -11,9 +11,11 @@ def server_program(ctx):
         msg = yield ctx.receive()
         if msg.delivered_link_ids:
             reply = msg.delivered_link_ids[0]
-            yield ctx.send(reply, op="reply",
-                          payload={"machine": ctx.machine,
-                                   "fwd": msg.forward_count})
+            yield ctx.send(
+                reply,
+                op="reply",
+                payload={"machine": ctx.machine, "fwd": msg.forward_count},
+            )
             yield ctx.destroy_link(reply)
 
 
@@ -21,14 +23,20 @@ def make_client(transcript, rounds=4, gap=5_000):
     def client(ctx):
         for i in range(rounds):
             reply_link = yield ctx.create_link()
-            yield ctx.send(ctx.bootstrap["server"], op="ping", payload=i,
-                          links=(reply_link,))
+            yield ctx.send(
+                ctx.bootstrap["server"],
+                op="ping",
+                payload=i,
+                links=(reply_link,),
+            )
             msg = yield ctx.receive()
-            transcript.append({
-                "round": i,
-                "machine": msg.payload["machine"],
-                "fwd": msg.payload["fwd"],
-            })
+            transcript.append(
+                {
+                    "round": i,
+                    "machine": msg.payload["machine"],
+                    "fwd": msg.payload["fwd"],
+                }
+            )
             yield ctx.destroy_link(reply_link)
             yield ctx.sleep(gap)
         yield ctx.exit()
@@ -47,7 +55,8 @@ class TestLinkUpdate:
         transcript = []
         server_pid = system.spawn(server_program, machine=0, name="server")
         system.kernel(2).spawn(
-            make_client(transcript, rounds=4), name="client",
+            make_client(transcript, rounds=4),
+            name="client",
             extra_links={"server": ProcessAddress(server_pid, 0)},
         )
         # Round 0 lands before migration; then the server moves.
@@ -65,7 +74,8 @@ class TestLinkUpdate:
         transcript = []
         server_pid = system.spawn(server_program, machine=0, name="server")
         client_pid = system.kernel(2).spawn(
-            make_client(transcript, rounds=3), name="client",
+            make_client(transcript, rounds=3),
+            name="client",
             extra_links={"server": ProcessAddress(server_pid, 0)},
         )
         system.run(until=2_000)
@@ -86,8 +96,9 @@ class TestLinkUpdate:
 
         def one_shot_client(ctx):
             reply_link = yield ctx.create_link()
-            yield ctx.send(ctx.bootstrap["server"], op="ping",
-                          links=(reply_link,))
+            yield ctx.send(
+                ctx.bootstrap["server"], op="ping", links=(reply_link,)
+            )
             yield ctx.receive()
             yield ctx.exit()
 
@@ -99,7 +110,8 @@ class TestLinkUpdate:
         fwd_before = system.kernel(0).stats.messages_forwarded
         upd_before = system.kernel(0).stats.link_updates_sent
         system.kernel(2).spawn(
-            one_shot_client, name="client",
+            one_shot_client,
+            name="client",
             extra_links={"server": ProcessAddress(server_pid, 0)},
         )
         drain(system)
@@ -118,7 +130,8 @@ class TestLinkUpdate:
         system.migrate(server_pid, 1)
         drain(system)
         system.kernel(2).spawn(
-            fire_and_forget, name="client",
+            fire_and_forget,
+            name="client",
             extra_links={"server": ProcessAddress(server_pid, 0)},
         )
         drain(system)
@@ -134,8 +147,9 @@ class TestLinkUpdate:
             dup_a = yield ctx.dup_link(ctx.bootstrap["server"])
             dup_b = yield ctx.dup_link(ctx.bootstrap["server"])
             reply_link = yield ctx.create_link()
-            yield ctx.send(ctx.bootstrap["server"], op="ping",
-                          links=(reply_link,))
+            yield ctx.send(
+                ctx.bootstrap["server"], op="ping", links=(reply_link,)
+            )
             yield ctx.receive()
             observed["done"] = True
             yield ctx.receive()  # park so we can inspect the table
@@ -145,7 +159,8 @@ class TestLinkUpdate:
         system.migrate(server_pid, 1)
         drain(system)
         hoarder_pid = system.kernel(2).spawn(
-            hoarder, name="hoarder",
+            hoarder,
+            name="hoarder",
             extra_links={"server": ProcessAddress(server_pid, 0)},
         )
         drain(system)

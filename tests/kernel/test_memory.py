@@ -3,11 +3,7 @@
 import pytest
 
 from repro.errors import MemoryError_
-from repro.kernel.memory import (
-    MemoryImage,
-    MemoryManager,
-    SegmentKind,
-)
+from repro.kernel.memory import (MemoryImage, MemoryManager, SegmentKind)
 
 
 class TestMemoryImage:

@@ -3,10 +3,7 @@
 from repro.kernel.ids import ProcessAddress, ProcessId, kernel_address
 from repro.kernel.links import LINK_WIRE_BYTES, Link, LinkSnapshot
 from repro.kernel.messages import (
-    MESSAGE_HEADER_BYTES,
-    Message,
-    MessageKind,
-    control_message,
+    MESSAGE_HEADER_BYTES, Message, MessageKind, control_message
 )
 
 
@@ -17,16 +14,23 @@ def addr(machine=0, local=1):
 class TestMessage:
     def test_wire_bytes_header_plus_payload(self):
         msg = Message(
-            dest=addr(), sender=addr(1, 2), kind=MessageKind.USER,
-            op="x", payload_bytes=100,
+            dest=addr(),
+            sender=addr(1, 2),
+            kind=MessageKind.USER,
+            op="x",
+            payload_bytes=100,
         )
         assert msg.wire_bytes == MESSAGE_HEADER_BYTES + 100
 
     def test_wire_bytes_counts_enclosed_links(self):
         snap = LinkSnapshot.of(Link(addr()))
         msg = Message(
-            dest=addr(), sender=addr(1, 2), kind=MessageKind.USER,
-            op="x", payload_bytes=10, links=(snap, snap),
+            dest=addr(),
+            sender=addr(1, 2),
+            kind=MessageKind.USER,
+            op="x",
+            payload_bytes=10,
+            links=(snap, snap),
         )
         assert msg.wire_bytes == (
             MESSAGE_HEADER_BYTES + 10 + 2 * LINK_WIRE_BYTES
@@ -34,7 +38,7 @@ class TestMessage:
 
     def test_redirect_rewrites_location_and_counts(self):
         msg = Message(
-            dest=addr(), sender=addr(1, 2), kind=MessageKind.USER, op="x",
+            dest=addr(), sender=addr(1, 2), kind=MessageKind.USER, op="x"
         )
         original_pid = msg.dest.pid
         msg.redirect(5)
@@ -51,7 +55,10 @@ class TestMessage:
 
     def test_repr_flags(self):
         msg = Message(
-            dest=addr(), sender=addr(), kind=MessageKind.USER, op="x",
+            dest=addr(),
+            sender=addr(),
+            kind=MessageKind.USER,
+            op="x",
             deliver_to_kernel=True,
         )
         msg.redirect(3)
@@ -60,8 +67,11 @@ class TestMessage:
 
     def test_control_message_builder(self):
         msg = control_message(
-            dest=kernel_address(2), sender=kernel_address(0),
-            op="mig-request", payload={"pid": 1}, payload_bytes=12,
+            dest=kernel_address(2),
+            sender=kernel_address(0),
+            op="mig-request",
+            payload={"pid": 1},
+            payload_bytes=12,
         )
         assert msg.kind is MessageKind.CONTROL
         assert msg.category == "admin"

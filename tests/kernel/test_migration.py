@@ -4,10 +4,9 @@ import pytest
 
 from repro.errors import MigrationError
 from repro.kernel.ids import ProcessAddress, kernel_pid
+from repro.kernel.messages import MessageKind
 from repro.kernel.ops import (
-    ADMIN_MESSAGES_PER_MIGRATION,
-    ADMIN_PAYLOAD_BYTES,
-    OP_MIGRATE_PROCESS,
+    ADMIN_MESSAGES_PER_MIGRATION, ADMIN_PAYLOAD_BYTES, OP_MIGRATE_PROCESS
 )
 from repro.kernel.process_state import ProcessStatus
 from tests.conftest import drain, make_bare_system
@@ -35,7 +34,9 @@ class TestBasicMigration:
         ticket = system.migrate(pid, 1)
         drain(system)
         assert ticket.success
-        assert ticket.record.admin_message_count == ADMIN_MESSAGES_PER_MIGRATION
+        assert (
+            ticket.record.admin_message_count == ADMIN_MESSAGES_PER_MIGRATION
+        )
 
     def test_admin_payloads_in_6_to_12_byte_range(self):
         system = make_bare_system()
@@ -51,7 +52,7 @@ class TestBasicMigration:
         ticket = system.migrate(pid, 1)
         drain(system)
         assert set(ticket.record.segment_bytes) == {
-            "resident", "swappable", "program",
+            "resident", "swappable", "program"
         }
         assert ticket.record.segment_bytes["resident"] == 250
 
@@ -61,13 +62,20 @@ class TestBasicMigration:
         system.migrate(pid, 1)
         drain(system)
         steps = [
-            r.event for r in system.tracer.records("migrate")
+            r.event
+            for r in system.tracer.records("migrate")
             if r.event.startswith("step")
         ]
         assert steps == [
-            "step1-freeze", "step2-request", "step3-allocate",
-            "step4-state", "step4-state", "step5-program",
-            "step6-forward-pending", "step7-cleanup", "step8-restart",
+            "step1-freeze",
+            "step2-request",
+            "step3-allocate",
+            "step4-state",
+            "step4-state",
+            "step5-program",
+            "step6-forward-pending",
+            "step7-cleanup",
+            "step8-restart",
         ]
 
     def test_memory_moves_between_machines(self):
@@ -113,7 +121,9 @@ class TestStatusPreservation:
         drain(system)  # let it block in Receive
         system.migrate(pid, 1)
         drain(system)
-        assert system.process_state(pid).status is ProcessStatus.WAITING_MESSAGE
+        assert (
+            system.process_state(pid).status is ProcessStatus.WAITING_MESSAGE
+        )
 
     def test_computing_process_finishes_on_destination(self):
         system = make_bare_system()
@@ -140,8 +150,7 @@ class TestStatusPreservation:
 
         pid = system.spawn(victim, machine=0)
         system.kernel(1).send_to_process(
-            ProcessAddress(pid, 0), "stop-process", {},
-            deliver_to_kernel=True,
+            ProcessAddress(pid, 0), "stop-process", {}, deliver_to_kernel=True
         )
         system.run(until=10_000)
         assert system.process_state(pid).status is ProcessStatus.SUSPENDED
@@ -204,10 +213,7 @@ class TestPendingMessages:
             kernel = system.kernel(1)
             for i in range(5):
                 kernel.send_to_process(
-                    ProcessAddress(pid, 0), "data", i,
-                    kind=__import__(
-                        "repro.kernel.messages", fromlist=["MessageKind"]
-                    ).MessageKind.USER,
+                    ProcessAddress(pid, 0), "data", i, kind=MessageKind.USER
                 )
 
         system.loop.call_at(1_000, blast)
@@ -239,7 +245,7 @@ class TestPendingMessages:
 
         for i in range(3):
             kernel.send_to_process(
-                ProcessAddress(pid, 0), "late", i, kind=MessageKind.USER,
+                ProcessAddress(pid, 0), "late", i, kind=MessageKind.USER
             )
         drain(system)
         assert ticket.success
@@ -321,8 +327,7 @@ class TestValidationAndRefusal:
         from repro.kernel.messages import MessageKind
 
         system.kernel(2).send_to_process(
-            ProcessAddress(pid, 0), "after-refusal", {},
-            kind=MessageKind.USER,
+            ProcessAddress(pid, 0), "after-refusal", {}, kind=MessageKind.USER
         )
         drain(system)
         assert log == ["after-refusal"]
@@ -348,7 +353,9 @@ class TestSelfMigrationAndDirectives:
         system = make_bare_system()
         pid = system.spawn(parked, machine=0)
         system.kernel(2).send_to_process(
-            ProcessAddress(pid, 0), OP_MIGRATE_PROCESS, {"dest": 1},
+            ProcessAddress(pid, 0),
+            OP_MIGRATE_PROCESS,
+            {"dest": 1},
             deliver_to_kernel=True,
         )
         drain(system)
@@ -363,7 +370,9 @@ class TestSelfMigrationAndDirectives:
         drain(system)
         # Directive still addressed to machine 0 (stale).
         system.kernel(3).send_to_process(
-            ProcessAddress(pid, 0), OP_MIGRATE_PROCESS, {"dest": 2},
+            ProcessAddress(pid, 0),
+            OP_MIGRATE_PROCESS,
+            {"dest": 2},
             deliver_to_kernel=True,
         )
         drain(system)
@@ -375,7 +384,9 @@ class TestSelfMigrationAndDirectives:
         system.migrate(pid, 1)  # freeze + start moving
         # While in migration, a second directive arrives at the source.
         system.kernel(0).send_to_process(
-            ProcessAddress(pid, 0), OP_MIGRATE_PROCESS, {"dest": 3},
+            ProcessAddress(pid, 0),
+            OP_MIGRATE_PROCESS,
+            {"dest": 3},
             deliver_to_kernel=True,
         )
         drain(system)
@@ -422,7 +433,7 @@ class TestChains:
         from repro.kernel.messages import MessageKind
 
         system.kernel(3).send_to_process(
-            ProcessAddress(pid, 3), "die", {}, kind=MessageKind.USER,
+            ProcessAddress(pid, 3), "die", {}, kind=MessageKind.USER
         )
         drain(system)
         # Backward pointers collected every forwarding address.

@@ -47,7 +47,7 @@ class TestConcurrentMigrations:
             hops.append(record.dest)
             if record.dest < 3:
                 system.kernel(record.dest).migration.start(
-                    pid, record.dest + 1, on_done=chain,
+                    pid, record.dest + 1, on_done=chain
                 )
 
         system.kernel(0).migration.start(pid, 1, on_done=chain)
@@ -84,13 +84,15 @@ class TestLinksInTransit:
 
         def seeder(ctx):
             yield ctx.send(
-                ctx.bootstrap["mover"], op="carry",
+                ctx.bootstrap["mover"],
+                op="carry",
                 links=(ctx.bootstrap["origin"],),
             )
             yield ctx.exit()
 
         system.kernel(3).spawn(
-            seeder, name="seeder",
+            seeder,
+            name="seeder",
             extra_links={
                 "mover": ProcessAddress(mover_pid, 1),
                 "origin": ProcessAddress(origin_pid, 0),
@@ -108,7 +110,8 @@ class TestSwappedMemory:
         migrates whole."""
         system = make_bare_system()
         pid = system.spawn(
-            parked, machine=0,
+            parked,
+            machine=0,
             memory=MemoryImage.sized(code=4_000, data=8_000, stack=1_000),
         )
         system.kernel(0).memory.swap_out(pid, SegmentKind.DATA)
@@ -163,7 +166,7 @@ class TestSuspensionInteractions:
         system.loop.call_at(
             5_000,
             lambda: kernel.send_to_process(
-                addr, "stop-process", {}, deliver_to_kernel=True,
+                addr, "stop-process", {}, deliver_to_kernel=True
             ),
         )
         system.run(until=50_000)
@@ -172,7 +175,7 @@ class TestSuspensionInteractions:
         assert state.status is ProcessStatus.SUSPENDED
         # Progress made so far is preserved; restart finishes the rest.
         kernel.send_to_process(
-            addr, "start-process", {}, deliver_to_kernel=True,
+            addr, "start-process", {}, deliver_to_kernel=True
         )
         drain(system)
         assert finished["at"] >= 20_000
@@ -193,13 +196,13 @@ class TestSuspensionInteractions:
         system.loop.call_at(
             20_000,
             lambda: control.send_to_process(
-                addr, "stop-process", {}, deliver_to_kernel=True,
+                addr, "stop-process", {}, deliver_to_kernel=True
             ),
         )
         system.loop.call_at(
             40_000,
             lambda: control.send_to_process(
-                addr, "start-process", {}, deliver_to_kernel=True,
+                addr, "start-process", {}, deliver_to_kernel=True
             ),
         )
         drain(system)
@@ -218,7 +221,7 @@ class TestExitDuringTraffic:
         kernel = system.kernel(1)
         for i in range(5):
             kernel.send_to_process(
-                ProcessAddress(pid, 0), "noise", i, kind=MessageKind.USER,
+                ProcessAddress(pid, 0), "noise", i, kind=MessageKind.USER
             )
         drain(system)
         assert not system.is_alive(pid)

@@ -15,7 +15,7 @@ class TestUnknownOps:
     def test_unknown_kernel_control_is_traced_not_fatal(self):
         system = make_bare_system()
         system.kernel(0).send_control(
-            1, "made-up-op", {}, payload_bytes=6, category="control",
+            1, "made-up-op", {}, payload_bytes=6, category="control"
         )
         drain(system)
         assert system.tracer.count("kernel", "unknown-control") == 1
@@ -24,8 +24,7 @@ class TestUnknownOps:
         system = make_bare_system()
         pid = system.spawn(parked, machine=0)
         system.kernel(1).send_to_process(
-            ProcessAddress(pid, 0), "made-up-d2k", {},
-            deliver_to_kernel=True,
+            ProcessAddress(pid, 0), "made-up-d2k", {}, deliver_to_kernel=True
         )
         drain(system)
         assert system.tracer.count("kernel", "unknown-d2k") == 1
@@ -87,11 +86,9 @@ class TestStatsAndRepr:
         a = system.spawn(parked, machine=0)
         kernel = system.kernel(0)
         kernel.send_to_process(
-            ProcessAddress(a, 0), "local", {}, kind=MessageKind.USER,
+            ProcessAddress(a, 0), "local", {}, kind=MessageKind.USER
         )
-        kernel.send_to_process(
-            kernel_address(1).moved_to(1), "remote", {},
-        )
+        kernel.send_to_process(kernel_address(1).moved_to(1), "remote", {})
         drain(system)
         assert kernel.stats.messages_sent_local >= 1
         assert kernel.stats.messages_sent_remote >= 1
@@ -128,8 +125,7 @@ class TestDefensivePaths:
         system = make_bare_system(memory_capacity=10_000)
         with pytest.raises(MemoryError_):
             system.kernel(0).spawn(
-                parked,
-                memory=MemoryImage.sized(code=50_000, data=0, stack=0),
+                parked, memory=MemoryImage.sized(code=50_000, data=0, stack=0)
             )
 
     def test_terminate_is_idempotent(self):

@@ -77,7 +77,7 @@ class TestPriorityBehaviour:
             return job
 
         vip = system.kernel(0).spawn(
-            make_job("vip", 30_000), name="vip", priority=7,
+            make_job("vip", 30_000), name="vip", priority=7
         )
         system.migrate(vip, 1)
         # Competition waiting on the destination.

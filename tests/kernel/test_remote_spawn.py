@@ -20,9 +20,11 @@ class TestRemoteSpawn:
         log = []
         register_trivial(system, log)
         system.kernel(0).send_control(
-            1, OP_SPAWN,
+            1,
+            OP_SPAWN,
             {"program": "trivial", "params": {"tag": 7}, "name": "t"},
-            payload_bytes=24, category="control",
+            payload_bytes=24,
+            category="control",
         )
         drain(system)
         assert log == [("ran", 7, 1)]
@@ -35,7 +37,8 @@ class TestRemoteSpawn:
 
         def requester(ctx):
             yield ctx.send(
-                ctx.bootstrap["kernel1"], op=OP_SPAWN,
+                ctx.bootstrap["kernel1"],
+                op=OP_SPAWN,
                 payload={
                     "program": "trivial",
                     "name": "child",
@@ -49,7 +52,8 @@ class TestRemoteSpawn:
             yield ctx.exit()
 
         system.kernel(0).spawn(
-            requester, name="requester",
+            requester,
+            name="requester",
             extra_links={"kernel1": kernel_address(1)},
         )
         drain(system)
@@ -66,7 +70,8 @@ class TestRemoteSpawn:
 
         def requester(ctx):
             yield ctx.send(
-                ctx.bootstrap["kernel1"], op=OP_SPAWN,
+                ctx.bootstrap["kernel1"],
+                op=OP_SPAWN,
                 payload={
                     "program": "does-not-exist",
                     "reply_to": ProcessAddress(ctx.pid, ctx.machine),
@@ -79,7 +84,8 @@ class TestRemoteSpawn:
             yield ctx.exit()
 
         system.kernel(0).spawn(
-            requester, name="requester",
+            requester,
+            name="requester",
             extra_links={"kernel1": kernel_address(1)},
         )
         drain(system)
@@ -91,7 +97,10 @@ class TestRemoteSpawn:
         log = []
         register_trivial(system, log)
         system.kernel(0).send_control(
-            2, OP_SPAWN, {"program": "trivial"}, payload_bytes=24,
+            2,
+            OP_SPAWN,
+            {"program": "trivial"},
+            payload_bytes=24,
             category="control",
         )
         drain(system)
@@ -111,7 +120,8 @@ class TestRemoteSpawn:
 
         def requester(ctx):
             yield ctx.send(
-                ctx.bootstrap["kernel1"], op=OP_SPAWN,
+                ctx.bootstrap["kernel1"],
+                op=OP_SPAWN,
                 payload={
                     "program": "longlived",
                     "reply_to": ProcessAddress(ctx.pid, ctx.machine),
@@ -122,12 +132,17 @@ class TestRemoteSpawn:
             msg = yield ctx.receive()
             child_pid["pid"] = msg.payload["pid"]
             control = msg.delivered_link_ids[0]
-            yield ctx.send(control, op="migrate-process",
-                          payload={"dest": 2}, deliver_to_kernel=True)
+            yield ctx.send(
+                control,
+                op="migrate-process",
+                payload={"dest": 2},
+                deliver_to_kernel=True,
+            )
             yield ctx.exit()
 
         system.kernel(0).spawn(
-            requester, name="requester",
+            requester,
+            name="requester",
             extra_links={"kernel1": kernel_address(1)},
         )
         drain(system)

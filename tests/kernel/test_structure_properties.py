@@ -16,8 +16,11 @@ machines = st.integers(min_value=0, max_value=7)
 
 
 class TestLinkTableProperties:
-    @given(targets=st.lists(st.tuples(pids, machines), max_size=30),
-           victim=pids, new_machine=machines)
+    @given(
+        targets=st.lists(st.tuples(pids, machines), max_size=30),
+        victim=pids,
+        new_machine=machines,
+    )
     def test_retarget_all_is_precise(self, targets, victim, new_machine):
         """retarget_all changes exactly the stale links to the victim pid
         and nothing else."""
@@ -25,11 +28,13 @@ class TestLinkTableProperties:
         for pid, machine in targets:
             table.insert(Link(ProcessAddress(pid, machine)))
         stale_before = sum(
-            1 for pid, machine in targets
+            1
+            for pid, machine in targets
             if pid == victim and machine != new_machine
         )
         others_before = [
-            (lid, link.address) for lid, link in table.items()
+            (lid, link.address)
+            for lid, link in table.items()
             if link.target_pid != victim
         ]
         changed = table.retarget_all(victim, new_machine)
@@ -37,7 +42,8 @@ class TestLinkTableProperties:
         for link in table.links_to(victim):
             assert link.address.last_known_machine == new_machine
         others_after = [
-            (lid, link.address) for lid, link in table.items()
+            (lid, link.address)
+            for lid, link in table.items()
             if link.target_pid != victim
         ]
         assert others_before == others_after
@@ -92,7 +98,7 @@ class TestMemoryManagerProperties:
 
     @given(
         reservations=st.lists(
-            st.integers(min_value=0, max_value=5_000), max_size=10,
+            st.integers(min_value=0, max_value=5_000), max_size=10
         ),
     )
     def test_reservations_respect_capacity(self, reservations):
@@ -105,9 +111,7 @@ class TestMemoryManagerProperties:
             assert manager.used_bytes <= manager.capacity_bytes
 
     @given(
-        swaps=st.lists(
-            st.sampled_from(list(SegmentKind)), max_size=12,
-        ),
+        swaps=st.lists(st.sampled_from(list(SegmentKind)), max_size=12),
     )
     def test_swap_round_trips_preserve_totals(self, swaps):
         manager = MemoryManager(capacity_bytes=100_000)

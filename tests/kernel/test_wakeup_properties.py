@@ -23,7 +23,7 @@ class TestBatchedWakeupFifo:
     @BOUNDED
     @given(
         counts=st.lists(
-            st.integers(min_value=1, max_value=8), min_size=1, max_size=5,
+            st.integers(min_value=1, max_value=8), min_size=1, max_size=5
         ),
         machines=st.integers(min_value=1, max_value=4),
     )
@@ -43,16 +43,21 @@ class TestBatchedWakeupFifo:
 
         def client(ctx, sender, n):
             for i in range(n):
-                yield ctx.send(ctx.bootstrap["peer"], op="n",
-                               payload=(sender, i))
+                yield ctx.send(
+                    ctx.bootstrap["peer"], op="n", payload=(sender, i)
+                )
             yield ctx.exit()
 
         server_pid = system.spawn(server, machine=0)
         for sender, n in enumerate(counts):
             spawn_with_peer(
                 system,
-                lambda ctx, _s=sender, _n=n: client(ctx, _s, _n),
-                sender % machines, server_pid, 0,
+                lambda ctx,
+                _s=sender,
+                _n=n: client(ctx, _s, _n),
+                sender % machines,
+                server_pid,
+                0,
             )
         drain(system)
 
@@ -66,7 +71,7 @@ class TestBatchedWakeupFifo:
         timeout=st.integers(min_value=1, max_value=2_000),
     )
     def test_receive_with_timeout_still_gets_messages_in_order(
-        self, n, timeout,
+        self, n, timeout
     ):
         """A timed Receive must be satisfied by an arriving message (not
         spuriously timed out) and still drain FIFO."""

@@ -214,6 +214,61 @@ class TestValidation:
             run(results, baselines, "--tolerance", "-0.1")
 
 
+class TestWallClockDiscipline:
+    """Timing is host-dependent: it may ride along in meta but must
+    never be a gated metric, and a committed speedup claim must name
+    hardware that could actually have produced it."""
+
+    def test_wall_clock_metric_rejected(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"wall_seconds": 1.5})
+        write_artifact(results, "e1", {"wall_seconds": 1.5})
+        assert run(results, baselines) == 1
+        assert "belongs in 'meta'" in capsys.readouterr().out
+
+    def test_speedup_metric_rejected(self, dirs, capsys):
+        results, baselines = dirs
+        write_artifact(baselines, "e1", {"speedup_4x": 2.1})
+        write_artifact(results, "e1", {"speedup_4x": 2.1})
+        assert run(results, baselines) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_wall_clock_in_meta_is_fine(self, dirs):
+        results, baselines = dirs
+        meta = {"machines": 8, "seed": 0, "wall_seconds": 1.5}
+        write_artifact(baselines, "e1", {"a": 1}, meta=meta)
+        write_artifact(results, "e1", {"a": 1}, meta=meta)
+        assert run(results, baselines) == 0
+
+    def test_single_core_speedup_claim_fails(self, dirs, capsys):
+        results, baselines = dirs
+        meta = {"machines": 8, "seed": 0, "cpu_count": 1, "speedup": 2.5}
+        write_artifact(baselines, "e1", {"a": 1}, meta=meta)
+        write_artifact(results, "e1", {"a": 1}, meta=meta)
+        assert run(results, baselines) == 1
+        out = capsys.readouterr().out
+        assert "single-core host cannot show parallel speedup" in out
+
+    def test_speedup_claim_without_cpu_count_fails(self, dirs, capsys):
+        results, baselines = dirs
+        meta = {"machines": 8, "seed": 0, "speedup": 2.5}
+        write_artifact(baselines, "e1", {"a": 1}, meta=meta)
+        write_artifact(results, "e1", {"a": 1}, meta=meta)
+        assert run(results, baselines) == 1
+        assert "no meta.cpu_count" in capsys.readouterr().out
+
+    def test_honest_claims_pass(self, dirs):
+        results, baselines = dirs
+        # Sub-1x on one core is honest; above-1x needs the cores.
+        for meta in (
+            {"machines": 8, "seed": 0, "cpu_count": 1, "speedup": 0.9},
+            {"machines": 8, "seed": 0, "cpu_count": 4, "speedup": 2.5},
+        ):
+            write_artifact(baselines, "e1", {"a": 1}, meta=meta)
+            write_artifact(results, "e1", {"a": 1}, meta=meta)
+            assert run(results, baselines) == 0
+
+
 class TestRepoBaselines:
     def test_committed_baselines_are_wellformed(self):
         baselines = SCRIPT.parent.parent / "benchmarks" / "baselines"
@@ -222,6 +277,9 @@ class TestRepoBaselines:
         for path in paths:
             document = check_bench.load_artifact(path)
             assert document["metrics"]
+            assert check_bench.check_speedup_honesty(
+                document["name"], document.get("meta", {}),
+            ) == []
 
     def test_paper_headline_numbers_in_baselines(self):
         baselines = SCRIPT.parent.parent / "benchmarks" / "baselines"

@@ -295,3 +295,77 @@ class TestElisionOrderEquivalence:
         assert run(shards, elide=True) == classic
         # and the classic engine's own parity, with the hook attached
         assert run(shards, elide=False) == classic
+
+    @BOUNDED
+    @given(
+        shape=st.sampled_from([
+            ("torus", 8, 2, 4_000),
+            ("cliques", 8, 2, 3_000),
+            ("torus", 16, 4, 2_000),
+        ]),
+        idle=st.sampled_from([40_000, 90_000]),
+        cuts=st.lists(
+            st.integers(min_value=1, max_value=399_999),
+            min_size=0, max_size=3,
+        ),
+        seed=seeds,
+    )
+    def test_runahead_idle_gaps_and_resume_match_classic(
+        self, shape, idle, cuts, seed,
+    ):
+        """The run-ahead scheduler's favourite terrain: short traffic
+        bursts separated by long idle stretches (meetings get skipped
+        wholesale) with the horizon chopped at arbitrary off-grid ticks
+        (every re-entry re-arms the meeting schedule).  Delivery order
+        must still be bitwise the classic single-shard order."""
+        topology, machines, shards, backbone = shape
+
+        def run(shard_count, elide, horizons):
+            system = ShardedSystem(SystemConfig(
+                machines=machines, topology=topology, latency=1_000,
+                shards=shard_count, backbone_latency=backbone,
+                barrier_elision=elide, seed=seed,
+                trace_categories=(), metrics_enabled=False,
+            ))
+            deliveries = {m: [] for m in range(machines)}
+
+            def record_hook(record):
+                packet = record.packet
+                deliveries[record.dst].append((
+                    record.arrival, record.src, record.dst,
+                    record.wire_seq, packet.kind.value, packet.seq,
+                    packet.payload_bytes,
+                ))
+
+            for shard in system.shards:
+                shard.network.on_record_delivered = record_hook
+            for m in range(machines):
+                system.spawn(
+                    lambda ctx, _m=m: echo_server(
+                        ctx, service_name=f"svc-{_m}",
+                    ),
+                    machine=m,
+                )
+            # Three bursts, each a single exchange, `idle` apart: the
+            # inter-burst stretches are dead air the elided engine
+            # should cross without a rendezvous.
+            for burst in range(3):
+                target = (2 * burst + 1) % machines
+                client = (target + machines // 2) % machines
+                system.schedule_spawn(
+                    5_000 + burst * idle, client,
+                    lambda ctx, _t=target: pinger(
+                        ctx, service_name=f"svc-{_t}", rounds=1,
+                        board=ResultsBoard(), key="p",
+                    ),
+                )
+            for until in horizons:
+                system.run(until=until)
+            system.drain()
+            return deliveries
+
+        full = [400_000]
+        chopped = sorted(set(cuts)) + full
+        classic = run(1, elide=False, horizons=full)
+        assert run(shards, elide=True, horizons=chopped) == classic
+        assert run(shards, elide=True, horizons=full) == classic
